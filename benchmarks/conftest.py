@@ -1,0 +1,39 @@
+"""Shared glue for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one paper table/figure via
+:mod:`repro.bench.experiments`, prints the paper-style table, attaches the
+series to ``benchmark.extra_info``, and asserts the paper's qualitative
+*shape* (who wins, where the cliffs fall).  Absolute numbers are not
+asserted — the substrate is a simulator, not the authors' testbed
+(DESIGN.md section 1).
+
+Run with ``pytest benchmarks/ --benchmark-only``; set ``REPRO_BENCH_FULL=1``
+for the paper-scale sweeps.
+"""
+
+import os
+
+import pytest
+
+FULL = bool(os.environ.get("REPRO_BENCH_FULL"))
+
+
+def run_figure_benchmark(benchmark, figure_fn, **kwargs):
+    """Run a figure once under pytest-benchmark and return its result."""
+    result = benchmark.pedantic(
+        lambda: figure_fn(quick=not FULL, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    benchmark.extra_info["figure"] = result.figure
+    benchmark.extra_info["x"] = list(result.x_values)
+    benchmark.extra_info["series"] = {k: list(v) for k, v in result.series.items()}
+    return result
+
+
+@pytest.fixture
+def run_bench(benchmark):
+    def runner(figure_fn, **kwargs):
+        return run_figure_benchmark(benchmark, figure_fn, **kwargs)
+
+    return runner

@@ -1,0 +1,26 @@
+"""Figure 1: the motivation — RDMA fails to scale on RC."""
+
+from repro.bench.experiments import fig1a, fig1b
+
+
+def test_fig1a_dfs_metadata_scalability(run_bench):
+    """Octopus metadata: read-oriented ops collapse with clients, updates
+    barely move (software-bound)."""
+    result = run_bench(fig1a)
+    stat_drop = result.value("Stat", 120) / result.value("Stat", 40)
+    mknod_drop = result.value("Mknod", 120) / result.value("Mknod", 40)
+    # Paper: Stat drops ~50% by 120 clients, Mknod ~5%.
+    assert stat_drop < 0.7, "Stat should lose a large share of its throughput"
+    assert mknod_drop > 0.75, "Mknod should be roughly flat (software-bound)"
+
+
+def test_fig1b_raw_verb_scalability(run_bench):
+    """Outbound RC write collapses; inbound write and UD send stay flat."""
+    result = run_bench(fig1b)
+    out = result.series["outbound RC write"]
+    inbound = result.series["inbound RC write"]
+    ud = result.series["UD send"]
+    # Paper: 20 -> 2 Mops from 10 to 800 clients.
+    assert out[0] / out[-1] > 5, "outbound must collapse with client count"
+    assert min(inbound[1:]) / max(inbound) > 0.6, "inbound write stays flat"
+    assert min(ud) / max(ud) > 0.8, "UD send stays flat"

@@ -1,0 +1,33 @@
+"""Figure 3: where the contention lives — NIC cache and LLC/DDIO."""
+
+from repro.bench.experiments import fig3a, fig3b
+
+
+def test_fig3a_pcie_read_amplification(run_bench):
+    """Outbound PCIe reads outgrow throughput once the NIC caches thrash;
+    inbound PCIe reads stay low."""
+    result = run_bench(fig3a)
+    counts = list(result.x_values)
+    out_tput = result.series["outbound tput"]
+    out_pcie = result.series["outbound PCIeRdCur (M/s)"]
+    in_pcie = result.series["inbound PCIeRdCur (M/s)"]
+    # At the peak (few clients) the PCIe read rate tracks throughput 1:1
+    # (one payload DMA read per write).
+    assert abs(out_pcie[0] - out_tput[0]) / out_tput[0] < 0.2
+    # Past the cliff, reads are amplified by state refetches.
+    assert out_pcie[-1] > 2 * out_tput[-1]
+    # Inbound writes do no payload DMA reads: the read rate stays low.
+    assert max(in_pcie) < 0.2 * max(out_pcie)
+
+
+def test_fig3b_block_size_cliff(run_bench):
+    """Inbound throughput collapses once blocks exceed 2 KB (the pool's
+    hot lines no longer fit the LLC's reachable sets)."""
+    result = run_bench(fig3b)
+    tput = dict(zip(result.x_values, result.series["throughput"]))
+    miss = dict(zip(result.x_values, result.series["L3 miss rate"]))
+    # Paper: ~35 Mops at small blocks, < 10 Mops at 2 KB+.
+    assert tput[1024] > 3 * tput[2048], "the cliff must land at 2 KB blocks"
+    assert tput[2048] < 10
+    assert miss[1024] < 0.2
+    assert miss[2048] > 0.8

@@ -1,0 +1,51 @@
+"""Figure 8: RPC throughput scalability."""
+
+from repro.bench.experiments import fig8_clients, fig8_machines
+
+
+def test_fig8_clients(run_bench):
+    """ScaleRPC stays flat like FaSST; RawWrite collapses; HERD declines
+    at small batch."""
+    result = run_bench(fig8_clients)
+    counts = list(result.x_values)
+    first, last = counts[0], counts[-1]
+
+    scale = result.series["scalerpc (batch 1)"]
+    raw = result.series["rawwrite (batch 1)"]
+    fasst = result.series["fasst (batch 1)"]
+    herd = result.series["herd (batch 1)"]
+
+    # RawWrite collapses by an order of magnitude.
+    assert raw[0] / raw[-1] > 5
+    # ScaleRPC stays within ~half of its best across the sweep and is
+    # flat beyond the first grouping transition (paper: "almost constant
+    # performance from 40 to 400 clients").
+    assert min(scale) / max(scale) > 0.5
+    assert min(scale[1:]) / max(scale[1:]) > 0.7
+    # FaSST is flat too; ScaleRPC is competitive with it at scale.
+    assert min(fasst[1:]) / max(fasst[1:]) > 0.8
+    assert scale[-1] > 0.6 * fasst[-1]
+    # ScaleRPC crushes RawWrite at 400 clients.
+    assert scale[-1] > 4 * raw[-1]
+    # HERD declines at large client counts with batch 1 (static mapping).
+    assert herd[-1] < 0.6 * max(herd)
+
+
+def test_fig8_machines(run_bench):
+    """RC-based RPCs saturate with <= 2 client machines; UD-based ones
+    need >= 4 (client CPU is their bottleneck)."""
+    result = run_bench(fig8_machines)
+
+    def machines_to_saturate(series, threshold=0.9):
+        peak = max(series)
+        for index, value in enumerate(series):
+            if value >= threshold * peak:
+                return index + 1
+        return len(series)
+
+    assert machines_to_saturate(result.series["scalerpc"]) <= 3
+    assert machines_to_saturate(result.series["rawwrite"]) <= 3
+    assert machines_to_saturate(result.series["herd"]) >= 4
+    assert machines_to_saturate(result.series["fasst"]) >= 4
+    # And the UD systems climb with machines: m4 >> m1.
+    assert result.series["fasst"][3] > 2 * result.series["fasst"][0]

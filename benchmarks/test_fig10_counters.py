@@ -1,0 +1,36 @@
+"""Figure 10: the internal mechanisms, through hardware counters."""
+
+from repro.bench.experiments import fig10
+
+
+def test_fig10_counters(run_bench):
+    """RawWrite's PCIeRdCur explodes past 40 clients and PCIeItoM grows
+    with the static pool; ScaleRPC's counters track its throughput."""
+    result = run_bench(fig10)
+    counts = list(result.x_values)
+    raw_tput = result.series["rawwrite tput"]
+    raw_rdcur = result.series["rawwrite PCIeRdCur (M/s)"]
+    raw_itom = result.series["rawwrite PCIeItoM (M/s)"]
+    scale_tput = result.series["scalerpc tput"]
+    scale_rdcur = result.series["scalerpc PCIeRdCur (M/s)"]
+    scale_itom = result.series["scalerpc PCIeItoM (M/s)"]
+
+    # RawWrite: reads per completed RPC grow sharply with clients
+    # (state refetches amplify PCIe traffic as throughput collapses).
+    raw_ratio_first = raw_rdcur[0] / raw_tput[0]
+    raw_ratio_last = raw_rdcur[-1] / raw_tput[-1]
+    assert raw_ratio_last > 2 * raw_ratio_first
+
+    # ScaleRPC: PCIe reads stay proportional to throughput.
+    scale_ratios = [r / t for r, t in zip(scale_rdcur, scale_tput)]
+    assert max(scale_ratios) / min(scale_ratios) < 2
+
+    # Write-allocate pressure: RawWrite's static pool outgrows the LLC,
+    # so its PCIeItoM *per completed RPC* explodes; ScaleRPC's virtualized
+    # pool keeps the per-op allocate rate low at any client count.
+    raw_itom_per_op = raw_itom[-1] / raw_tput[-1]
+    scale_itom_per_op = scale_itom[-1] / scale_tput[-1]
+    assert raw_itom_per_op > 5 * max(scale_itom_per_op, 0.01)
+    assert max(scale_itom) < 0.25 * max(scale_tput)
+    # And RawWrite's absolute allocate rate grows with clients.
+    assert raw_itom[-1] > 2 * max(raw_itom[0], 0.05)

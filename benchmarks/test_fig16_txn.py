@@ -1,0 +1,40 @@
+"""Figure 16: the ScaleTX transaction system."""
+
+import pytest
+
+from repro.bench.experiments import fig16a, fig16b
+
+
+def test_fig16a_object_store_read_write(run_bench):
+    """Read-write object store: ScaleTX best at 160 clients; RawWrite
+    collapses (paper: -56% from its 80-client peak)."""
+    result = run_bench(fig16a, mix=(3, 1))
+    at160 = {system: result.value(system, 160) for system in result.series}
+    assert at160["scaletx"] == max(at160.values())
+    assert at160["scaletx"] > 1.5 * at160["rawwrite"]
+    assert at160["scaletx"] > 1.05 * at160["scaletx-o"]
+    raw80 = result.value("rawwrite", 80)
+    assert at160["rawwrite"] < 0.7 * raw80, "RawWrite must collapse at 160"
+
+
+def test_fig16a_object_store_read_only(run_bench):
+    """Read-only transactions: one-sided validation reads don't reduce
+    traffic, so ScaleTX == ScaleTX-O (paper Figure 16(a.1))."""
+    result = run_bench(fig16a, mix=(4, 0))
+    for clients in result.x_values:
+        one_sided = result.value("scaletx", clients)
+        rpc_only = result.value("scaletx-o", clients)
+        assert one_sided == pytest.approx(rpc_only, rel=0.25)
+
+
+def test_fig16b_smallbank(run_bench):
+    """SmallBank: write-intensive, where one-sided commits pay off most.
+    ScaleTX best at 160; beats ScaleTX-O clearly (paper: +26-30%)."""
+    result = run_bench(fig16b)
+    at160 = {system: result.value(system, 160) for system in result.series}
+    assert at160["scaletx"] == max(at160.values())
+    assert at160["scaletx"] > 1.8 * at160["rawwrite"]  # paper: +160%
+    assert at160["scaletx"] > 1.15 * at160["scaletx-o"]  # paper: +26%
+    at80 = {system: result.value(system, 80) for system in result.series}
+    assert at80["scaletx"] > 1.1 * at80["fasst"]  # paper: +120%
+    assert at80["scaletx"] > 1.1 * at80["scaletx-o"]  # paper: +30%

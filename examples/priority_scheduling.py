@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Priority-based scheduling under skewed clients (paper Figure 12).
+
+Launches 120 clients whose posting rates follow a Gaussian
+access-frequency distribution, then compares ScaleRPC's dynamic
+priority scheduler against the Static variant and shows how the groups
+were reorganized.
+
+Run:  python examples/priority_scheduling.py
+"""
+
+from repro.bench import RpcExperiment, run_rpc_experiment
+from repro.workloads import gaussian_afd_think_time
+
+
+def main() -> None:
+    sigma = 1.0
+    think = gaussian_afd_think_time(sigma, base_ns=20_000)
+
+    print(f"120 skewed clients (Gaussian AFD, sigma={sigma}):")
+    results = {}
+    for mode, label in (("scalerpc", "Dynamic"), ("scalerpc-static", "Static")):
+        result = run_rpc_experiment(
+            RpcExperiment(
+                system=mode,
+                n_clients=120,
+                batch_size=4,
+                think_time_fn=think,
+                warmup_ns=1_500_000,
+                measure_ns=2_500_000,
+            )
+        )
+        results[label] = result
+        print(f"  {label:8s} {result.throughput_mops:5.2f} Mops/s "
+              f"(median {result.latency.median_ns / 1e3:.1f} us)")
+
+    gain = results["Dynamic"].throughput_mops / results["Static"].throughput_mops - 1
+    print(f"  dynamic scheduling gain: {gain:+.1%}  (paper: ~+10%)")
+    print()
+    print("how it works: the scheduler tracks each client's per-slice")
+    print("throughput and request size (P_i = T_i / S_i), groups clients of")
+    print("the same priority class together, and gives busy groups longer")
+    print("time slices while squeezing idle groups' slices — so shared time")
+    print("wasted on idle clients is reallocated to the busy ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""ScaleRPC reproduction (EuroSys '19).
+
+A faithful, simulator-backed reproduction of "Scalable RDMA RPC on
+Reliable Connection with Efficient Resource Sharing" by Chen, Lu, and Shu.
+
+Subpackages
+-----------
+- :mod:`repro.sim`       — discrete-event simulation kernel
+- :mod:`repro.memsys`    — LLC + DDIO, caches, memory, PCIe counters
+- :mod:`repro.rdma`      — verbs, queue pairs, NIC model, fabric, nodes
+- :mod:`repro.core`      — ScaleRPC (the paper's contribution)
+- :mod:`repro.baselines` — RawWrite, HERD, FaSST
+- :mod:`repro.dfs`       — the Octopus-like distributed file system
+- :mod:`repro.txn`       — ScaleTX distributed transactions
+- :mod:`repro.workloads` — workload generators and skew distributions
+- :mod:`repro.bench`     — the evaluation harness (``python -m repro.bench``)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "memsys",
+    "rdma",
+    "core",
+    "baselines",
+    "dfs",
+    "txn",
+    "workloads",
+    "bench",
+]

@@ -1,0 +1,20 @@
+"""Baseline RPC implementations compared against ScaleRPC (paper Table 2)."""
+
+from .common import BaseRpcClient, BaseRpcServer, BaselineConfig, BaselineStats, UdEndpoint
+from .fasst import FasstClient, FasstServer
+from .herd import HerdClient, HerdServer
+from .rawwrite import RawWriteClient, RawWriteServer
+
+__all__ = [
+    "BaseRpcClient",
+    "BaseRpcServer",
+    "BaselineConfig",
+    "BaselineStats",
+    "FasstClient",
+    "FasstServer",
+    "HerdClient",
+    "HerdServer",
+    "RawWriteClient",
+    "RawWriteServer",
+    "UdEndpoint",
+]

@@ -1,0 +1,301 @@
+"""Shared machinery for the baseline RPC implementations (paper Table 2).
+
+All three baselines use *static mapping*: the server allocates a dedicated
+message region per connected client, so the server-side pool footprint
+grows linearly with the client count — the property whose LLC consequences
+ScaleRPC's virtualized mapping removes.
+
+=========  =====================  =========================
+RPC        requests               responses
+=========  =====================  =========================
+RawWrite   RC write               RC write   (FaRM-style)
+HERD       UC write               UD send
+FaSST      UD send                UD send
+=========  =====================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..core.api import CallHandle, RpcClientApi, RpcServerApi
+from ..core.config import CpuCostModel
+from ..core.message import RpcRequest, RpcResponse
+from ..core.msgpool import SlotCursor
+from ..rdma.mr import Access, MemoryRegion
+from ..rdma.node import Node
+from ..rdma.types import Transport
+from ..sim.resources import Store
+
+__all__ = ["BaselineConfig", "BaselineStats", "BaseRpcServer", "BaseRpcClient", "UdEndpoint"]
+
+Handler = Callable[[RpcRequest], Any]
+CostFn = Callable[[RpcRequest], int]
+
+
+@dataclass
+class BaselineConfig:
+    """Common knobs of the baseline servers (paper defaults)."""
+
+    block_size: int = 4096
+    blocks_per_client: int = 20
+    n_server_threads: int = 10
+    recv_depth: int = 512  # pre-posted receives per UD queue pair
+    recv_buf_bytes: int = 256  # per-receive buffer (FaSST-style small SGEs)
+    costs: CpuCostModel = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.costs is None:
+            self.costs = CpuCostModel()
+        if self.block_size < 64:
+            raise ValueError("block_size must be at least one cacheline")
+        if self.blocks_per_client < 1:
+            raise ValueError("blocks_per_client must be >= 1")
+        if self.n_server_threads < 1:
+            raise ValueError("n_server_threads must be >= 1")
+        if self.recv_depth < 1:
+            raise ValueError("recv_depth must be >= 1")
+        if self.recv_buf_bytes < 64:
+            raise ValueError("recv_buf_bytes must be at least one cacheline")
+
+    @property
+    def slot_bytes(self) -> int:
+        return self.block_size * self.blocks_per_client
+
+
+@dataclass
+class BaselineStats:
+    """Server-side accounting."""
+
+    completed: int = 0
+    dropped: int = 0
+
+
+@dataclass
+class _ClientBinding:
+    """Server-side state for one connected client (static mapping)."""
+
+    client_id: int
+    request_region: Optional[MemoryRegion]  # on the server (RawWrite/HERD)
+    send_ref: Any  # transport-specific response destination
+
+
+class BaseRpcServer(RpcServerApi):
+    """Worker-thread scaffolding shared by all baselines.
+
+    Subclasses implement ``_admit`` (create transport state for a client)
+    and ``_respond_cost_and_send`` (transport-specific response posting).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        handler: Handler,
+        config: Optional[BaselineConfig] = None,
+        handler_cost_fn: Optional[CostFn] = None,
+        response_bytes=32,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.handler = handler
+        self.handler_cost_fn = handler_cost_fn or (lambda _req: 0)
+        self.config = config or BaselineConfig()
+        self.response_bytes = response_bytes
+        self.stats = BaselineStats()
+        self.bindings: dict[int, _ClientBinding] = {}
+        self._stores = [Store(self.sim) for _ in range(self.config.n_server_threads)]
+        self._next_client_id = 1
+        self._scratch = node.register_memory(self.config.slot_bytes)
+        self._scratch_cursor = SlotCursor(
+            self._scratch.range.base, self._scratch.range.size
+        )
+        self._started = False
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _admit(self, machine: Node, client_id: int) -> "BaseRpcClient":
+        raise NotImplementedError
+
+    def _send_response(self, binding: _ClientBinding, response: RpcResponse) -> None:
+        raise NotImplementedError
+
+    # -- admission -------------------------------------------------------------
+
+    def connect(self, machine: Node) -> "BaseRpcClient":
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        return self._admit(machine, client_id)
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for i in range(self.config.n_server_threads):
+            self.sim.process(self._worker(i), name=f"baseline.worker{i}")
+
+    def worker_index(self, client_id: int) -> int:
+        return client_id % self.config.n_server_threads
+
+    def dispatch(self, request: RpcRequest, addr: Optional[int]) -> None:
+        """Route an arrived request to its worker thread."""
+        self._stores[self.worker_index(request.client_id)].put((request, addr))
+
+    # -- execution ---------------------------------------------------------------
+
+    def _worker(self, index: int) -> Generator:
+        store = self._stores[index]
+        while True:
+            request, addr = yield store.get()
+            binding = self.bindings.get(request.client_id)
+            if binding is None:
+                self.stats.dropped += 1
+                continue
+            cost = self.config.costs.server_request_ns
+            if addr is not None:
+                cost += self.node.llc.cpu_access(addr, request.wire_bytes).cost_ns
+            cost += self.handler_cost_fn(request)
+            yield self.sim.timeout(cost)
+            result = self.handler(request)
+            data_bytes = (
+                self.response_bytes(request, result)
+                if callable(self.response_bytes)
+                else self.response_bytes
+            )
+            response = RpcResponse(
+                req_id=request.req_id,
+                client_id=request.client_id,
+                payload=result,
+                data_bytes=data_bytes,
+            )
+            scratch = self._scratch_cursor.next(response.wire_bytes)
+            write_cost = self.node.llc.cpu_access(
+                scratch, response.wire_bytes, write=True
+            ).cost_ns
+            yield self.sim.timeout(write_cost)
+            self._send_response(binding, response)
+            self.stats.completed += 1
+
+    def _response_scratch(self, size: int) -> int:
+        return self._scratch_cursor.next(size)
+
+
+class BaseRpcClient(RpcClientApi):
+    """Client scaffolding: handle tracking, polling costs, batching."""
+
+    #: True for clients that receive responses via ``ibv_poll_cq`` on a UD
+    #: queue pair (HERD, FaSST) — the expensive client mode of Figure 8.
+    uses_cq_polling = False
+
+    def __init__(self, server: BaseRpcServer, machine: Node, client_id: int):
+        self.server = server
+        self.machine = machine
+        self.sim = machine.sim
+        self.client_id = client_id
+        self._post_ns, self._poll_ns = server.config.costs.client_cost(
+            self.uses_cq_polling
+        )
+        self.outstanding: dict[int, CallHandle] = {}
+        self.staging = machine.register_memory(
+            server.config.slot_bytes, access=Access.all_remote(), huge_pages=False
+        )
+        self.completed = 0
+
+    # -- subclass hook ----------------------------------------------------------
+
+    def _post_request(self, request: RpcRequest) -> None:
+        raise NotImplementedError
+
+    # -- RpcClientApi -------------------------------------------------------------
+
+    def async_call(
+        self, rpc_type: str, payload: Any = None, data_bytes: int = 32
+    ) -> Generator:
+        request = RpcRequest(
+            client_id=self.client_id,
+            rpc_type=rpc_type,
+            payload=payload,
+            data_bytes=data_bytes,
+            created_ns=self.sim.now,
+        )
+        handle = CallHandle(request, self.sim.event(), posted_ns=self.sim.now)
+        self.outstanding[request.req_id] = handle
+        yield from self._cpu_backpressure()
+        yield from self.machine.cpu.use(self._post_ns)
+        self._post_request(request)
+        return handle
+
+    def flush(self) -> Generator:
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def poll_completions(self, handles: list[CallHandle]) -> Generator:
+        responses = []
+        for handle in handles:
+            if not handle.event.triggered:
+                yield handle.event
+            # Poll CPU overlaps with the next op (coroutine multiplexing).
+            self._defer_cpu(self._poll_ns * self.poll_cost_scale)
+            if handle.completed_ns is None:
+                handle.completed_ns = self.sim.now
+            responses.append(handle.response)
+        return responses
+
+    # -- response delivery (called by transport-specific receive paths) ------------
+
+    def deliver(self, response: Any) -> None:
+        handle = self.outstanding.pop(response.req_id, None)
+        if handle is None:
+            return
+        handle.response = response
+        handle.completed_ns = self.sim.now
+        handle.event.succeed(response)
+        self.completed += 1
+
+
+class UdEndpoint:
+    """A UD queue pair with a ring of pre-posted receive buffers and a
+    listener process that invokes ``on_receive(completion)`` per message,
+    re-arming the consumed buffer.
+
+    Used on the client side by HERD and FaSST (responses arrive as UD
+    sends), and on the server side by FaSST (requests too).  The ring is a
+    *shared, bounded* region — the design property that keeps FaSST's
+    server-side footprint LLC-resident regardless of client count.
+    """
+
+    def __init__(self, node: Node, depth: int, buf_bytes: int, on_receive):
+        self.node = node
+        self.qp = node.create_qp(Transport.UD, max_recv_wr=depth + 1)
+        self.depth = depth
+        self.buf_bytes = buf_bytes
+        self.on_receive = on_receive
+        self.region = node.register_memory(depth * buf_bytes)
+        self._next_slot = 0
+        from ..rdma.verbs import post_recv
+
+        for i in range(depth):
+            post_recv(self.qp, self.region.range.base + i * buf_bytes, buf_bytes)
+        self._next_slot = 0
+        node.sim.process(self._listener(), name=f"{node.name}.ud{self.qp.qp_num}")
+
+    def handle(self):
+        """Address handle peers use to send to this endpoint."""
+        return self.qp.address_handle()
+
+    def _listener(self) -> Generator:
+        from ..rdma.verbs import post_recv
+
+        while True:
+            completion = yield self.qp.recv_cq.get_event()
+            post_recv(
+                self.qp,
+                self.region.range.base + self._next_slot * self.buf_bytes,
+                self.buf_bytes,
+            )
+            self._next_slot = (self._next_slot + 1) % self.depth
+            # Polling the CQ reads the landed message, keeping the recv
+            # ring LLC-resident on this node.
+            if completion.addr is not None and completion.byte_len > 0:
+                self.node.llc.cpu_access(completion.addr, completion.byte_len)
+            self.on_receive(completion)

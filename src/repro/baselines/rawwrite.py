@@ -1,0 +1,104 @@
+"""RawWrite RPC: the FaRM-style RC-write baseline (paper Table 2).
+
+"A baseline RPC implementation based on RC write verbs" — equivalently,
+ScaleRPC with every optimization disabled: static per-client message
+regions on the server, requests and responses both posted with one-sided
+RC writes.  Its two scaling pathologies are exactly the paper's Section 2.3
+observations:
+
+- the server's *response* writes need one RC QP per client, overflowing
+  the NIC connection cache (outbound collapse of Figure 1(b)), and
+- the per-client request regions grow the pool linearly with clients,
+  overflowing the LLC (inbound Write-Allocate pressure of Figure 3(b)).
+"""
+
+from __future__ import annotations
+
+from ..core.message import RpcRequest, RpcResponse
+from ..core.msgpool import BlockCursor, SlotCursor
+from ..rdma.mr import Access
+from ..rdma.node import InboundWrite, Node
+from ..rdma.types import Transport
+from ..rdma.verbs import post_write
+from .common import BaseRpcClient, BaseRpcServer, _ClientBinding
+
+__all__ = ["RawWriteServer", "RawWriteClient"]
+
+
+class RawWriteServer(BaseRpcServer):
+    """The RC-write RPC server with static mapping."""
+
+    def _admit(self, machine: Node, client_id: int) -> "RawWriteClient":
+        server_qp = self.node.create_qp(Transport.RC)
+        client_qp = machine.create_qp(Transport.RC)
+        client_qp.connect(server_qp)
+        # Static mapping: a dedicated request region for this client.
+        # Packed allocation (no per-client huge-page rounding): the static
+        # pool is one contiguous run of per-client slots, as real
+        # implementations carve it from a single registered region.
+        request_region = self.node.register_memory(
+            self.config.slot_bytes, access=Access.all_remote(), huge_pages=False
+        )
+        client = RawWriteClient(self, machine, client_id, client_qp, request_region)
+        binding = _ClientBinding(
+            client_id=client_id,
+            request_region=request_region,
+            send_ref=(server_qp, SlotCursor(
+                client.responses.range.base, client.responses.range.size
+            )),
+        )
+        self.bindings[client_id] = binding
+        self.node.watch_writes(request_region.range, self._on_request)
+        return client
+
+    def _on_request(self, event: InboundWrite) -> None:
+        if isinstance(event.payload, RpcRequest):
+            self.dispatch(event.payload, event.addr)
+
+    def _send_response(self, binding: _ClientBinding, response: RpcResponse) -> None:
+        server_qp, cursor = binding.send_ref
+        post_write(
+            server_qp,
+            local_addr=self._response_scratch(response.wire_bytes),
+            remote_addr=cursor.next(response.wire_bytes),
+            size=response.wire_bytes,
+            payload=response,
+            signaled=False,
+        )
+
+
+class RawWriteClient(BaseRpcClient):
+    """RC client: writes requests into its server region, polls its local
+    response region (no CQ polling — the cheap client mode)."""
+
+    uses_cq_polling = False
+
+    def __init__(self, server, machine, client_id, qp, request_region):
+        super().__init__(server, machine, client_id)
+        self.qp = qp
+        # Compact response ring: warms within one lap and stays resident.
+        self.responses = machine.register_memory(
+            4 * server.config.block_size, access=Access.all_remote(), huge_pages=False
+        )
+        machine.watch_writes(self.responses.range, self._on_response)
+        self._cursor = BlockCursor(
+            request_region.range.base,
+            server.config.block_size,
+            server.config.blocks_per_client,
+        )
+
+    def _post_request(self, request: RpcRequest) -> None:
+        post_write(
+            self.qp,
+            local_addr=self.staging.range.base,
+            remote_addr=self._cursor.next(request.wire_bytes),
+            size=request.wire_bytes,
+            payload=request,
+            signaled=False,
+        )
+
+    def _on_response(self, event: InboundWrite) -> None:
+        # Polling the local pool reads the message: keep the ring hot.
+        self.machine.llc.cpu_access(event.addr, event.size)
+        if isinstance(event.payload, RpcResponse):
+            self.deliver(event.payload)

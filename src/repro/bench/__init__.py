@@ -1,0 +1,29 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from .experiments import ALL_FIGURES, run_figure
+from .harness import (
+    SYSTEMS,
+    MultiSeedResult,
+    RpcExperiment,
+    RpcResult,
+    run_multi_seed,
+    run_rpc_experiment,
+)
+from .metrics import LatencyRecorder, LatencyStats, throughput_mops
+from .report import FigureResult, format_table
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "SYSTEMS",
+    "LatencyRecorder",
+    "MultiSeedResult",
+    "run_multi_seed",
+    "LatencyStats",
+    "RpcExperiment",
+    "RpcResult",
+    "format_table",
+    "run_figure",
+    "run_rpc_experiment",
+    "throughput_mops",
+]

@@ -1,0 +1,59 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench --figure fig8_clients
+    python -m repro.bench --all
+    python -m repro.bench --all --full        # paper-scale sweeps
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .experiments import ALL_FIGURES, run_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the ScaleRPC paper's evaluation figures.",
+    )
+    parser.add_argument("--figure", action="append", default=[],
+                        help="figure to run (repeatable); see --list")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--full", action="store_true",
+                        help="full paper-scale sweeps (slower)")
+    parser.add_argument("--list", action="store_true", help="list figures")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_FIGURES:
+            print(name)
+        return 0
+    names = list(ALL_FIGURES) if args.all else args.figure
+    if not names:
+        parser.print_help()
+        return 2
+    collected = {}
+    for name in names:
+        started = time.time()
+        result = run_figure(name, quick=not args.full)
+        print(result.render())
+        print(f"  ({time.time() - started:.1f}s)\n")
+        collected[name] = result.as_dict()
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(collected, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

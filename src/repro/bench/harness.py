@@ -1,0 +1,226 @@
+"""The RPC micro-benchmark harness.
+
+Reproduces the paper's measurement methodology (Section 3.6.1): a single
+RPCServer node, clients simulated as coroutine-like processes spread
+evenly over physical client machines, closed-loop batched posting through
+the asynchronous APIs, and per-batch latency recording.  One
+:class:`RpcExperiment` describes a configuration; :func:`run_rpc_experiment`
+returns throughput, latency distribution, and the PCM-style counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..baselines import BaselineConfig, FasstServer, HerdServer, RawWriteServer
+from ..core import ScaleRpcConfig, ScaleRpcServer
+from ..memsys import CounterMonitor, CounterRates
+from ..rdma import Fabric, Node
+from ..sim import RngRegistry, Simulator
+from .metrics import LatencyRecorder, LatencyStats, throughput_mops
+
+__all__ = ["SYSTEMS", "RpcExperiment", "RpcResult", "run_rpc_experiment",
+           "MultiSeedResult", "run_multi_seed"]
+
+#: The compared RPC implementations (paper Table 2, plus the Static
+#: ScaleRPC variant of Figure 12).
+SYSTEMS = ("scalerpc", "scalerpc-static", "rawwrite", "herd", "fasst")
+
+ThinkTimeFn = Callable[[int, random.Random], int]
+
+
+@dataclass
+class RpcExperiment:
+    """One benchmark configuration."""
+
+    system: str = "scalerpc"
+    n_clients: int = 40
+    n_client_machines: int = 11
+    batch_size: int = 1
+    data_bytes: int = 32
+    handler_cost_ns: int = 0
+    warmup_ns: int = 400_000
+    measure_ns: int = 2_000_000
+    seed: int = 1
+    think_time_fn: Optional[ThinkTimeFn] = None
+    # Server parameters (paper defaults).
+    group_size: int = 40
+    time_slice_ns: int = 100_000
+    block_size: int = 4096
+    blocks_per_client: int = 20
+    n_server_threads: int = 10
+    machine_cores: int = 24
+    # Ablation switches (ScaleRPC only).
+    warmup_enabled: bool = True
+    conn_prefetch_enabled: bool = True
+
+    def __post_init__(self):
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; pick from {SYSTEMS}")
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.n_client_machines < 1:
+            raise ValueError("n_client_machines must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+@dataclass
+class RpcResult:
+    """Measured outputs of one experiment."""
+
+    experiment: RpcExperiment
+    throughput_mops: float
+    latency: LatencyStats
+    recorder: LatencyRecorder
+    counters: CounterRates
+    completed_ops: int
+    window_ns: int
+    server_stats: object
+
+
+def build_server(experiment: RpcExperiment, node: Node, handler, handler_cost_fn):
+    """Instantiate the server for ``experiment.system``."""
+    if experiment.system.startswith("scalerpc"):
+        config = ScaleRpcConfig(
+            group_size=experiment.group_size,
+            time_slice_ns=experiment.time_slice_ns,
+            block_size=experiment.block_size,
+            blocks_per_client=experiment.blocks_per_client,
+            n_server_threads=experiment.n_server_threads,
+            dynamic_scheduling=experiment.system == "scalerpc",
+            warmup_enabled=experiment.warmup_enabled,
+            conn_prefetch_enabled=experiment.conn_prefetch_enabled,
+        )
+        return ScaleRpcServer(node, handler, config=config, handler_cost_fn=handler_cost_fn)
+    config = BaselineConfig(
+        block_size=experiment.block_size,
+        blocks_per_client=experiment.blocks_per_client,
+        n_server_threads=experiment.n_server_threads,
+    )
+    cls = {
+        "rawwrite": RawWriteServer,
+        "herd": HerdServer,
+        "fasst": FasstServer,
+    }[experiment.system]
+    return cls(node, handler, config=config, handler_cost_fn=handler_cost_fn)
+
+
+@dataclass
+class MultiSeedResult:
+    """Throughput across several seeds, with spread."""
+
+    results: list[RpcResult]
+
+    @property
+    def throughputs(self) -> list[float]:
+        return [r.throughput_mops for r in self.results]
+
+    @property
+    def mean_mops(self) -> float:
+        values = self.throughputs
+        return sum(values) / len(values)
+
+    @property
+    def spread_mops(self) -> float:
+        """Half the min-max spread (a simple dispersion bound)."""
+        values = self.throughputs
+        return (max(values) - min(values)) / 2
+
+
+def run_multi_seed(experiment: RpcExperiment, seeds=(1, 2, 3)) -> MultiSeedResult:
+    """Run the same experiment under several RNG seeds."""
+    from dataclasses import replace
+
+    results = [
+        run_rpc_experiment(replace(experiment, seed=seed)) for seed in seeds
+    ]
+    return MultiSeedResult(results)
+
+
+def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
+    """Run one closed-loop experiment and return its measurements."""
+    sim = Simulator()
+    rng = RngRegistry(experiment.seed)
+    fabric = Fabric(sim)
+    server_node = Node(sim, "server", fabric)
+    handler = lambda request: request.payload
+    cost_fn = (
+        (lambda _req: experiment.handler_cost_ns)
+        if experiment.handler_cost_ns
+        else None
+    )
+    server = build_server(experiment, server_node, handler, cost_fn)
+    machines = [
+        Node(sim, f"m{i}", fabric, cores=experiment.machine_cores)
+        for i in range(experiment.n_client_machines)
+    ]
+    clients = [
+        server.connect(machines[i % len(machines)])
+        for i in range(experiment.n_clients)
+    ]
+    server.start()
+
+    window_start = experiment.warmup_ns
+    # The window extends adaptively (up to 8x) for configurations whose
+    # batch round-trip exceeds measure_ns — e.g. RawWrite at 400 clients
+    # with batch 8, where a single closed-loop round takes milliseconds.
+    window_end = experiment.warmup_ns + 8 * experiment.measure_ns
+    recorder = LatencyRecorder()
+    state = {"ops": 0}
+
+    def driver(sim, client):
+        client_rng = rng.stream(f"client.{client.client_id}")
+        while True:
+            if experiment.think_time_fn is not None:
+                delay = experiment.think_time_fn(client.client_id, client_rng)
+                if delay > 0:
+                    yield sim.timeout(delay)
+            batch_start = sim.now
+            handles = []
+            for _ in range(experiment.batch_size):
+                handle = yield from client.async_call(
+                    "bench", payload=None, data_bytes=experiment.data_bytes
+                )
+                handles.append(handle)
+            yield from client.flush()
+            yield from client.poll_completions(handles)
+            if window_start <= batch_start and sim.now <= window_end:
+                recorder.record(sim.now - batch_start)
+                state["ops"] += len(handles)
+
+    for client in clients:
+        sim.process(driver(sim, client), name=f"bench.c{client.client_id}")
+
+    monitor = CounterMonitor(sim, server_node.counters, server_node.llc)
+    sim.run(until=window_start)
+    monitor.start()
+    # Run in measure_ns increments until enough batches completed, so both
+    # fast (microsecond-RTT) and collapsed (millisecond-RTT) systems get a
+    # statistically useful sample.
+    target_samples = max(50, experiment.n_clients)
+    elapsed = 0
+    while True:
+        elapsed += experiment.measure_ns
+        sim.run(until=window_start + elapsed)
+        if len(recorder) >= target_samples or window_start + elapsed >= window_end:
+            break
+    counters = monitor.stop()
+    window_ns = elapsed
+
+    if not len(recorder):
+        raise RuntimeError(
+            f"no completed batches in the measurement window for {experiment}"
+        )
+    return RpcResult(
+        experiment=experiment,
+        throughput_mops=throughput_mops(state["ops"], window_ns),
+        latency=recorder.stats(),
+        recorder=recorder,
+        counters=counters,
+        completed_ops=state["ops"],
+        window_ns=window_ns,
+        server_stats=server.stats,
+    )

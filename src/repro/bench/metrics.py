@@ -1,0 +1,93 @@
+"""Measurement utilities: latency recording and throughput windows.
+
+Latency is recorded per *batch*, exactly as the paper does for Figure 9:
+``T2 - T1`` where T1 is when the batch is posted and T2 when all its
+responses have returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "LatencyStats", "throughput_mops"]
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of one latency population (all in ns)."""
+
+    count: int
+    median_ns: float
+    mean_ns: float
+    p99_ns: float
+    max_ns: float
+
+    def as_us(self) -> dict[str, float]:
+        """The paper reports latencies in microseconds."""
+        return {
+            "median_us": self.median_ns / 1e3,
+            "mean_us": self.mean_ns / 1e3,
+            "p99_us": self.p99_ns / 1e3,
+            "max_us": self.max_ns / 1e3,
+        }
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and answers distribution queries."""
+
+    def __init__(self):
+        self._samples: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self._samples.append(latency_ns)
+
+    def extend(self, latencies: Iterable[int]) -> None:
+        for value in latencies:
+            self.record(value)
+
+    def stats(self) -> LatencyStats:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        arr = np.asarray(self._samples, dtype=np.float64)
+        return LatencyStats(
+            count=len(arr),
+            median_ns=float(np.median(arr)),
+            mean_ns=float(arr.mean()),
+            p99_ns=float(np.percentile(arr, 99)),
+            max_ns=float(arr.max()),
+        )
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0-100), in ns."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return float(np.percentile(np.asarray(self._samples, dtype=np.float64), q))
+
+    def cdf(self, points: int = 50) -> list[tuple[float, float]]:
+        """(latency_us, cumulative_fraction) pairs for CDF plotting."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        arr = np.sort(np.asarray(self._samples, dtype=np.float64))
+        fractions = np.linspace(0, 1, points, endpoint=True)
+        indices = np.minimum((fractions * (len(arr) - 1)).astype(int), len(arr) - 1)
+        return [(arr[i] / 1e3, float(f)) for i, f in zip(indices, fractions)]
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+
+def throughput_mops(completed: int, window_ns: int) -> float:
+    """Operations per second in millions over a window."""
+    if window_ns <= 0:
+        raise ValueError("window must be positive")
+    return completed * NS_PER_S / window_ns / 1e6

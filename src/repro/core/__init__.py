@@ -1,0 +1,48 @@
+"""ScaleRPC: the paper's scalable RC-mode RPC (the primary contribution)."""
+
+from .api import CallHandle, RpcClientApi, RpcServerApi
+from .client import ClientState, ScaleRpcClient
+from .config import CpuCostModel, ScaleRpcConfig
+from .grouping import ClientContext, ConnectionGroup, GroupManager
+from .message import (
+    HEADER_BYTES,
+    ContextSwitchNotice,
+    EndpointEntry,
+    PoolBinding,
+    RpcRequest,
+    RpcResponse,
+    layout_in_block,
+    wire_size,
+)
+from .msgpool import PhysicalPool, PoolPair, SlotCursor
+from .scheduler import PriorityScheduler
+from .server import ScaleRpcServer, ServerStats
+from .sync import GlobalSynchronizer
+
+__all__ = [
+    "HEADER_BYTES",
+    "CallHandle",
+    "ClientContext",
+    "ClientState",
+    "ConnectionGroup",
+    "ContextSwitchNotice",
+    "CpuCostModel",
+    "EndpointEntry",
+    "GlobalSynchronizer",
+    "GroupManager",
+    "PhysicalPool",
+    "PoolBinding",
+    "PoolPair",
+    "PriorityScheduler",
+    "RpcClientApi",
+    "RpcRequest",
+    "RpcResponse",
+    "RpcServerApi",
+    "ScaleRpcClient",
+    "ScaleRpcConfig",
+    "ScaleRpcServer",
+    "ServerStats",
+    "SlotCursor",
+    "wire_size",
+    "layout_in_block",
+]

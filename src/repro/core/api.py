@@ -1,0 +1,140 @@
+"""The RPC programming interface shared by ScaleRPC and all baselines.
+
+The paper's porting story (Section 3.5) is that only the RPC subsystem is
+replaced; systems above see ``SyncCall`` / ``AsyncCall`` / ``PollCompletion``
+regardless of transport.  Every RPC stack in this repository — ScaleRPC,
+RawWrite, HERD, FaSST — implements this interface, which is what lets the
+distributed file system and the transaction system swap transports with a
+constructor argument.
+
+All calls are simulation generators: drive them with ``yield from`` inside
+a process.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..rdma.node import Node
+from ..sim.engine import Event
+from .message import RpcRequest, RpcResponse
+
+__all__ = ["CallHandle", "RpcClientApi", "RpcServerApi"]
+
+
+@dataclass
+class CallHandle:
+    """Tracks one in-flight RPC from post to response."""
+
+    request: RpcRequest
+    event: Event = field(repr=False)
+    posted_ns: int = 0
+    completed_ns: Optional[int] = None
+    response: Optional[RpcResponse] = None
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        if self.completed_ns is None:
+            return None
+        return self.completed_ns - self.posted_ns
+
+
+class RpcClientApi(abc.ABC):
+    """Client-side API: the paper's SyncCall / AsyncCall / PollCompletion."""
+
+    client_id: int
+    machine: Node
+
+    # -- deferred CPU accounting ------------------------------------------
+    #
+    # Clients are coroutines multiplexed onto threads (paper Section
+    # 3.6.1): the CPU work of polling completions overlaps with the wire
+    # time of later operations, so it is charged to the machine's cores
+    # asynchronously.  A bounded in-flight window provides backpressure:
+    # when the machine's cores cannot keep up, the window fills and the
+    # client's posting loop stalls, so throughput degrades to the
+    # machine's CPU capacity — the effect that makes UD-based RPCs need
+    # several physical client machines (Figure 8, right).
+
+    _deferred_inflight: int = 0
+    _deferred_window: int = 16
+    _deferred_waiter: Optional[Event] = None
+    #: Clients talking to several servers poll one completion source per
+    #: server (round-robin over CQs / message regions); per completed op
+    #: the thread pays ~that many poll sweeps.  Multi-participant
+    #: deployments (ScaleTX) set this to the participant count.
+    poll_cost_scale: int = 1
+
+    def _defer_cpu(self, ns: int) -> None:
+        """Charge ``ns`` of machine CPU without blocking the caller."""
+        if ns <= 0:
+            return
+        sim = self.machine.sim
+        self._deferred_inflight += 1
+
+        def run():
+            yield from self.machine.cpu.use(ns)
+            self._deferred_inflight -= 1
+            waiter = self._deferred_waiter
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed()
+                self._deferred_waiter = None
+
+        sim.process(run(), name=f"c{self.client_id}.cpu")
+
+    def _cpu_backpressure(self) -> Generator:
+        """Stall while this client's deferred-CPU window is full."""
+        while self._deferred_inflight >= self._deferred_window:
+            if self._deferred_waiter is None or self._deferred_waiter.triggered:
+                self._deferred_waiter = self.machine.sim.event()
+            yield self._deferred_waiter
+        return None
+
+    @abc.abstractmethod
+    def async_call(
+        self, rpc_type: str, payload: Any = None, data_bytes: int = 32
+    ) -> Generator:
+        """Post one request without waiting; returns a :class:`CallHandle`.
+
+        Use as ``handle = yield from client.async_call(...)``.
+        """
+
+    @abc.abstractmethod
+    def flush(self) -> Generator:
+        """Ensure all posted requests are on their way to the server.
+
+        Batching clients call this once per batch (``yield from``).
+        """
+
+    @abc.abstractmethod
+    def poll_completions(self, handles: list[CallHandle]) -> Generator:
+        """Wait for all ``handles`` (``yield from``); returns the responses."""
+
+    def sync_call(
+        self, rpc_type: str, payload: Any = None, data_bytes: int = 32
+    ) -> Generator:
+        """Post one request and wait for its response (``yield from``)."""
+        handle = yield from self.async_call(rpc_type, payload, data_bytes)
+        yield from self.flush()
+        responses = yield from self.poll_completions([handle])
+        return responses[0]
+
+
+class RpcServerApi(abc.ABC):
+    """Server-side API: handler registration and client admission."""
+
+    node: Node
+
+    @abc.abstractmethod
+    def connect(self, machine: Node) -> RpcClientApi:
+        """Admit a new client running on ``machine``."""
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Spawn the server's simulation processes."""

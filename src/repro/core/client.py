@@ -1,0 +1,285 @@
+"""The ScaleRPC client (RPCClient) and its state machine.
+
+A client cycles through the paper's Figure-7 states:
+
+- ``IDLE``    — not currently served; new requests are initialized locally.
+- ``WARMUP``  — the client has announced a batch by RDMA-writing a
+  ``<req_addr, batch_size>`` tuple to its endpoint entry; the server will
+  fetch the requests with RDMA reads while another group is being served.
+- ``PROCESS`` — the client's group holds the time slice; the first response
+  carried a :class:`~repro.core.message.PoolBinding` and subsequent
+  requests are RDMA-written straight into the processing pool.
+
+A response flagged ``context_switch`` (or an explicit
+:class:`~repro.core.message.ContextSwitchNotice`) sends the client back to
+``IDLE``; any still-outstanding requests are re-announced automatically, so
+calls survive races with the context switch (a request that lands in the
+pool just after a switch is simply fetched again next round).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..rdma.mr import Access
+from ..rdma.node import InboundWrite, Node
+from ..rdma.qp import QueuePair
+from ..rdma.verbs import post_write
+from .api import CallHandle, RpcClientApi
+from .message import (
+    ActivationNotice,
+    ContextSwitchNotice,
+    EndpointEntry,
+    PoolBinding,
+    RpcRequest,
+    RpcResponse,
+)
+from .msgpool import BlockCursor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .server import ScaleRpcServer
+
+__all__ = ["ClientState", "ScaleRpcClient"]
+
+ENTRY_WIRE_BYTES = 16
+
+
+class ClientState(enum.Enum):
+    """Paper Figure 7."""
+
+    IDLE = "IDLE"
+    WARMUP = "WARMUP"
+    PROCESS = "PROCESS"
+
+
+class ScaleRpcClient(RpcClientApi):
+    """One RPCClient endpoint.  Created via ``ScaleRpcServer.connect``."""
+
+    uses_cq_polling = False  # RC clients poll their local message pool
+
+    def __init__(
+        self,
+        server: "ScaleRpcServer",
+        machine: Node,
+        client_id: int,
+        qp: QueuePair,
+    ):
+        self.server = server
+        self.machine = machine
+        self.sim = machine.sim
+        self.client_id = client_id
+        self.qp = qp
+        config = server.config
+        self._post_ns, self._poll_ns = config.costs.client_cost(self.uses_cq_polling)
+        # Client-side memory: request staging (server warmup-reads it) and
+        # the response ring (server writes responses/notices into it).
+        self.staging = machine.register_memory(
+            config.slot_bytes, access=Access.all_remote(), huge_pages=False
+        )
+        # The response ring: a few blocks suffice (responses are consumed
+        # immediately); a compact ring stays LLC-resident after one lap.
+        self.responses = machine.register_memory(
+            4 * config.block_size, access=Access.all_remote(), huge_pages=False
+        )
+        machine.watch_writes(self.responses.range, self._on_response)
+        self.state = ClientState.IDLE
+        self._binding: Optional[PoolBinding] = None
+        self._cursor: Optional[BlockCursor] = None
+        self._outstanding: dict[int, CallHandle] = {}
+        self._announce_pending = False
+        # Stats.
+        self.completed = 0
+        self.failed_retries = 0
+        self.announcements = 0
+        self.switch_events = 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def async_call(
+        self, rpc_type: str, payload: Any = None, data_bytes: int = 32
+    ) -> Generator:
+        """Post one request (non-blocking); returns its handle."""
+        request = RpcRequest(
+            client_id=self.client_id,
+            rpc_type=rpc_type,
+            payload=payload,
+            data_bytes=data_bytes,
+            created_ns=self.sim.now,
+        )
+        handle = CallHandle(request, self.sim.event(), posted_ns=self.sim.now)
+        self._outstanding[request.req_id] = handle
+        yield from self._cpu_backpressure()
+        yield from self.machine.cpu.use(self._post_ns)
+        if self.state is ClientState.PROCESS:
+            self._post_direct(request)
+        # Otherwise the request stays local until flush() announces it.
+        return handle
+
+    def flush(self) -> Generator:
+        """Announce locally-initialized requests (enters WARMUP)."""
+        if self.state is not ClientState.PROCESS and self._outstanding:
+            yield from self.machine.cpu.use(self._post_ns)
+            self._announce()
+        return None
+
+    def poll_completions(self, handles: list[CallHandle]) -> Generator:
+        """Wait for every handle; returns their responses in order."""
+        responses = []
+        for handle in handles:
+            if not handle.event.triggered:
+                yield handle.event
+            self._defer_cpu(self._poll_ns * self.poll_cost_scale)
+            handle.completed_ns = (
+                handle.completed_ns
+                if handle.completed_ns is not None
+                else self.sim.now
+            )
+            responses.append(handle.response)
+        return responses
+
+    def disconnect(self) -> None:
+        """Leave the server (log out)."""
+        self.server.disconnect(self.client_id)
+
+    # -- request posting ------------------------------------------------------
+
+    def _post_direct(self, request: RpcRequest) -> None:
+        """RDMA-write one request into the processing pool (PROCESS state)."""
+        assert self._cursor is not None
+        addr = self._cursor.next(request.wire_bytes)
+        post_write(
+            self.qp,
+            local_addr=self.staging.range.base,
+            remote_addr=addr,
+            size=request.wire_bytes,
+            payload=request,
+            signaled=False,
+        )
+
+    def _announce(self) -> None:
+        """Write the ``<req_addr, batch_size>`` endpoint entry (Fig. 6 step 2)."""
+        batch = [
+            self._outstanding[req_id].request
+            for req_id in sorted(self._outstanding)
+        ]
+        if not batch:
+            return
+        if self.state is ClientState.IDLE:
+            self.state = ClientState.WARMUP
+        self.machine.store(self.staging.range.base, batch)
+        entry = EndpointEntry(
+            client_id=self.client_id,
+            req_addr=self.staging.range.base,
+            batch_size=len(batch),
+            total_bytes=sum(r.wire_bytes for r in batch),
+            message_sizes=tuple(r.wire_bytes for r in batch),
+        )
+        post_write(
+            self.qp,
+            local_addr=self.staging.range.base,
+            remote_addr=self.server.endpoint_addr(self.client_id),
+            size=ENTRY_WIRE_BYTES,
+            payload=entry,
+            signaled=False,
+        )
+        self.announcements += 1
+
+    #: Debounce before re-announcing after a context switch: responses for
+    #: drained requests are still in flight and complete within ~an RTT.
+    _REANNOUNCE_DELAY_NS = 3_000
+
+    def _announce_proc(self) -> Generator:
+        yield self.sim.timeout(self._REANNOUNCE_DELAY_NS)
+        yield from self.machine.cpu.use(self._post_ns)
+        self._announce_pending = False
+        if self.state is not ClientState.PROCESS and self._outstanding:
+            self._announce()
+
+    def _repost_all(self) -> Generator:
+        """Post every outstanding request directly (after activation)."""
+        for req_id in sorted(self._outstanding):
+            handle = self._outstanding.get(req_id)
+            if handle is None or self.state is not ClientState.PROCESS:
+                continue
+            yield from self.machine.cpu.use(self._post_ns)
+            self._post_direct(handle.request)
+        return None
+
+    def _repost_proc(self, request: RpcRequest) -> Generator:
+        yield from self.machine.cpu.use(self._post_ns)
+        if self.state is ClientState.PROCESS:
+            self._post_direct(request)
+        elif self._outstanding:
+            self._announce()
+
+    # -- inbound handling -------------------------------------------------
+
+    def _on_response(self, event: InboundWrite) -> None:
+        # The client's polling loop reads the arrived message, keeping the
+        # response ring LLC-resident (promotes the lines out of the DDIO
+        # write-allocate ways).
+        self.machine.llc.cpu_access(event.addr, event.size)
+        payload = event.payload
+        if isinstance(payload, ContextSwitchNotice):
+            self._enter_idle()
+            return
+        if isinstance(payload, ActivationNotice):
+            self._bind(payload.binding)
+            if self._outstanding:
+                self.sim.process(
+                    self._repost_all(), name=f"c{self.client_id}.activate"
+                )
+            return
+        if not isinstance(payload, RpcResponse):
+            return
+        if payload.binding is not None:
+            self._bind(payload.binding)
+        if payload.failed:
+            self._handle_failed(payload)
+        else:
+            handle = self._outstanding.pop(payload.req_id, None)
+            if handle is not None:
+                handle.response = payload
+                handle.completed_ns = self.sim.now
+                handle.event.succeed(payload)
+                self.completed += 1
+        if payload.context_switch:
+            self._enter_idle()
+
+    def _bind(self, binding: PoolBinding) -> None:
+        self._binding = binding
+        config = self.server.config
+        self._cursor = BlockCursor(
+            binding.slot_base, config.block_size, config.blocks_per_client
+        )
+        if self.state is not ClientState.PROCESS:
+            self.state = ClientState.PROCESS
+
+    def _handle_failed(self, response: RpcResponse) -> None:
+        """A long RPC was cut by a context switch; resend it (the server
+        will run the retry in legacy mode)."""
+        handle = self._outstanding.get(response.req_id)
+        if handle is None:
+            return
+        self.failed_retries += 1
+        self.sim.process(
+            self._repost_proc(handle.request), name=f"c{self.client_id}.retry"
+        )
+
+    def _enter_idle(self) -> None:
+        self.switch_events += 1
+        self.state = ClientState.IDLE
+        self._binding = None
+        self._cursor = None
+        if self._outstanding and not self._announce_pending:
+            # Requests caught by the switch are re-announced so they are
+            # fetched again when our group next warms up.
+            self._announce_pending = True
+            self.sim.process(
+                self._announce_proc(), name=f"c{self.client_id}.reannounce"
+            )

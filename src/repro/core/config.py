@@ -1,0 +1,116 @@
+"""Configuration for ScaleRPC and the shared CPU cost model.
+
+Defaults follow the paper's evaluation setup (Section 3.6.1): 100 us time
+slice, group size 40, 4 KB message blocks, and coroutine-style clients that
+post batches asynchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuCostModel", "ScaleRpcConfig"]
+
+US = 1_000
+MS = 1_000_000
+
+
+@dataclass
+class CpuCostModel:
+    """Calibrated per-operation CPU costs (DESIGN.md section 4).
+
+    The RC/UD asymmetry on the client side reproduces the paper's Figure 8
+    (right): an RC client just checks its local message pool, while a UD
+    client must pre-post receives and poll the completion queue
+    (``ibv_poll_cq``), which makes client CPU the bottleneck and forces
+    UD-based RPCs onto >= 4 physical client machines before they saturate.
+    """
+
+    server_request_ns: int = 260
+    client_post_ns: int = 200
+    client_poll_ns: int = 150
+    ud_client_post_ns: int = 500
+    ud_client_poll_ns: int = 7500
+
+    def client_cost(self, uses_cq_polling: bool) -> tuple[int, int]:
+        """(post, poll) costs for an RC-style or UD-style client."""
+        if uses_cq_polling:
+            return self.ud_client_post_ns, self.ud_client_poll_ns
+        return self.client_post_ns, self.client_poll_ns
+
+
+@dataclass
+class ScaleRpcConfig:
+    """Tunables of the ScaleRPC server (paper defaults)."""
+
+    group_size: int = 40
+    time_slice_ns: int = 100 * US
+    block_size: int = 4096
+    blocks_per_client: int = 20
+    n_server_threads: int = 10
+    message_header_bytes: int = 8  # MsgLen + Valid fields
+    dynamic_scheduling: bool = True
+    warmup_enabled: bool = True
+    # Pre-load the next group's QP contexts into the NIC cache during
+    # warmup (off only for ablation studies).
+    conn_prefetch_enabled: bool = True
+    # Lazy split/merge bounds: [1/2, 3/2] of the default group size (paper
+    # Section 3.2).
+    group_min_ratio: float = 0.5
+    group_max_ratio: float = 1.5
+    # Priority scheduling: the highest-priority class gets a smaller group
+    # and a longer slice; per-group slices scale with aggregate priority
+    # within [min, max] x time_slice_ns, squeezing time wasted on idle
+    # clients toward the busy ones (paper Section 3.2).
+    priority_group_shrink: float = 0.75
+    priority_slice_min_ratio: float = 0.3
+    priority_slice_max_ratio: float = 2.0
+    rebalance_every_slices: int = 8
+    # Begin piggybacking context_switch_event on responses this long
+    # before the slice expires, so the group's clients quiesce by the
+    # switch point and the drain stays short (paper: the event is
+    # piggybacked while the remaining requests are processed).
+    drain_lead_ns: int = 8 * US
+    # RPCs whose handler exceeds this run in legacy mode after one failure
+    # (paper Section 3.5).
+    long_rpc_threshold_ns: int = 80 * US
+    costs: CpuCostModel = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.costs is None:
+            self.costs = CpuCostModel()
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.time_slice_ns <= 0:
+            raise ValueError("time_slice_ns must be positive")
+        if self.block_size < 64:
+            raise ValueError("block_size must be at least one cacheline")
+        if self.blocks_per_client < 1:
+            raise ValueError("blocks_per_client must be >= 1")
+        if self.n_server_threads < 1:
+            raise ValueError("n_server_threads must be >= 1")
+        if not 0 < self.group_min_ratio <= 1 <= self.group_max_ratio:
+            raise ValueError("group ratio bounds must bracket 1")
+
+    @property
+    def slot_bytes(self) -> int:
+        """Bytes of pool backing one client slot."""
+        return self.block_size * self.blocks_per_client
+
+    @property
+    def pool_slots(self) -> int:
+        """Slots per physical pool: sized for the largest legal group, so
+        lazy split/merge never outgrows the pool."""
+        return max(1, int(self.group_size * self.group_max_ratio))
+
+    @property
+    def pool_bytes(self) -> int:
+        """Bytes of one physical message pool (serves one group)."""
+        return self.slot_bytes * self.pool_slots
+
+    def group_bounds(self) -> tuple[int, int]:
+        """Legal (min, max) group size before lazy split/merge kicks in."""
+        return (
+            max(1, int(self.group_size * self.group_min_ratio)),
+            max(1, int(self.group_size * self.group_max_ratio)),
+        )

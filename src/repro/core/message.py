@@ -1,0 +1,157 @@
+"""RPC message formats and the right-aligned on-wire layout.
+
+The paper lays each message out *right-aligned* in its block with three
+fields — ``| Data | MsgLen | Valid |`` — exploiting the fact that RDMA
+updates memory in increasing address order: once the trailing ``Valid``
+byte is set, the earlier fields are guaranteed complete, so the server
+detects arrival by polling ``Valid`` alone (Section 3.1).
+
+Requests and responses travel as payload objects through the simulated
+fabric; :func:`wire_size` accounts for the header fields when charging the
+NIC and caches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "MSG_LEN_BYTES",
+    "VALID_BYTES",
+    "HEADER_BYTES",
+    "RpcRequest",
+    "RpcResponse",
+    "PoolBinding",
+    "EndpointEntry",
+    "ContextSwitchNotice",
+    "ActivationNotice",
+    "wire_size",
+    "layout_in_block",
+]
+
+MSG_LEN_BYTES = 4
+VALID_BYTES = 4
+HEADER_BYTES = MSG_LEN_BYTES + VALID_BYTES
+
+_request_ids = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """Globally unique request id."""
+    return next(_request_ids)
+
+
+def wire_size(data_bytes: int) -> int:
+    """On-wire bytes of a message: data plus MsgLen and Valid fields."""
+    if data_bytes < 0:
+        raise ValueError("data size must be non-negative")
+    return data_bytes + HEADER_BYTES
+
+
+def layout_in_block(block_base: int, block_size: int, data_bytes: int) -> tuple[int, int]:
+    """Right-aligned placement of a message inside its block.
+
+    Returns ``(write_addr, valid_addr)``: the address the RDMA write
+    targets and the address of the trailing Valid field the server polls.
+    """
+    total = wire_size(data_bytes)
+    if total > block_size:
+        raise ValueError(
+            f"{data_bytes}-byte message (+{HEADER_BYTES} header) exceeds "
+            f"{block_size}-byte block"
+        )
+    write_addr = block_base + block_size - total
+    valid_addr = block_base + block_size - VALID_BYTES
+    return write_addr, valid_addr
+
+
+@dataclass
+class RpcRequest:
+    """One RPC request."""
+
+    client_id: int
+    rpc_type: str
+    payload: Any = None
+    data_bytes: int = 32
+    req_id: int = field(default_factory=next_request_id)
+    created_ns: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return wire_size(self.data_bytes)
+
+
+@dataclass(frozen=True)
+class PoolBinding:
+    """Where a PROCESS-state client writes directly: its slot in the
+    currently-processing physical pool, valid for one epoch."""
+
+    pool_base: int
+    slot_base: int
+    slot_bytes: int
+    epoch: int
+
+
+@dataclass
+class RpcResponse:
+    """One RPC response (written back into the client's response region)."""
+
+    req_id: int
+    client_id: int
+    payload: Any = None
+    data_bytes: int = 32
+    failed: bool = False
+    # Piggybacked control information (paper Section 3.3/3.4):
+    context_switch: bool = False
+    binding: Optional[PoolBinding] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return wire_size(self.data_bytes)
+
+
+@dataclass(frozen=True)
+class ActivationNotice:
+    """Sent at slice start to group members when requests warmup is
+    disabled: carries the pool binding so the client can repost its
+    outstanding requests directly.  (With warmup enabled the binding
+    rides on the first response instead, and there is no gap to fill.)"""
+
+    binding: "PoolBinding"
+    epoch: int
+    data_bytes: int = 24
+
+    @property
+    def wire_bytes(self) -> int:
+        return wire_size(self.data_bytes)
+
+
+@dataclass(frozen=True)
+class ContextSwitchNotice:
+    """Explicit context-switch notification written to clients that had no
+    response to piggyback the event on (paper Section 3.3)."""
+
+    epoch: int
+    data_bytes: int = 8
+
+    @property
+    def wire_bytes(self) -> int:
+        return wire_size(self.data_bytes)
+
+
+@dataclass(frozen=True)
+class EndpointEntry:
+    """The ``<req_addr, batch_size>`` tuple a warming-up client RDMA-writes
+    to its endpoint entry (paper Figure 6, step 2).
+
+    ``message_sizes`` carries the wire size of each staged request so the
+    server can build the scatter list for its warmup READ.
+    """
+
+    client_id: int
+    req_addr: int
+    batch_size: int
+    total_bytes: int
+    message_sizes: tuple = ()

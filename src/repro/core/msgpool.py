@@ -1,0 +1,173 @@
+"""Message pools with virtualized mapping.
+
+The RPCServer allocates *one* physical message pool sized for a single
+group of clients (plus a second pool used for warmup), instead of one
+region per client as static-mapping designs (HERD, FaRM RPC) do.  The pool
+is cut into *message zones* (one per working thread), each holding *slots*
+(one per group member) of ``blocks_per_client`` message blocks.
+
+Virtualized mapping (paper Section 3.3) binds a different group of clients
+to the same physical slots each time slice.  Because the pool is stateless
+— a message is dead the instant it is processed — groups overwrite each
+other without any resetting, and the pool's fixed footprint is what keeps
+the CPU cache effective at any client count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rdma.mr import Access, MemoryRegion
+from ..rdma.node import Node
+from .config import ScaleRpcConfig
+
+__all__ = ["SlotCursor", "BlockCursor", "PhysicalPool", "PoolPair"]
+
+CACHE_LINE = 64
+
+
+class SlotCursor:
+    """Rotating write cursor over one slot's lines.
+
+    Messages are deposited at successive cacheline offsets, wrapping at the
+    slot end; a message never straddles the wrap point.  Over time the
+    whole slot is touched, which is exactly the footprint the LLC model
+    must account (DESIGN.md section 6).
+    """
+
+    def __init__(self, base: int, size: int):
+        if size < CACHE_LINE:
+            raise ValueError("slot smaller than one cacheline")
+        self.base = base
+        self.size = size
+        self._lines = size // CACHE_LINE
+        self._cursor = 0
+
+    def next(self, message_bytes: int) -> int:
+        """Address for the next message of ``message_bytes``; advances."""
+        lines_needed = -(-message_bytes // CACHE_LINE)
+        if lines_needed > self._lines:
+            raise ValueError(f"{message_bytes}-byte message larger than slot")
+        if self._cursor + lines_needed > self._lines:
+            self._cursor = 0  # wrap; no straddling
+        addr = self.base + self._cursor * CACHE_LINE
+        self._cursor += lines_needed
+        return addr
+
+
+class BlockCursor:
+    """Block-granular message placement within a client's slot.
+
+    Message ``n`` lands right-aligned in block ``n mod blocks`` (the
+    paper's Section 3.1 layout): the write covers the tail lines of the
+    block, and the same lines are reused every ``blocks`` messages.  This
+    is what makes the hot footprint of a pool *strided* — one tail-line
+    group every ``block_size`` bytes — the pattern whose set-conflict
+    behaviour drives Figure 3(b).
+    """
+
+    def __init__(self, base: int, block_size: int, blocks: int):
+        if block_size < CACHE_LINE:
+            raise ValueError("block smaller than one cacheline")
+        if blocks < 1:
+            raise ValueError("need at least one block")
+        self.base = base
+        self.block_size = block_size
+        self.blocks = blocks
+        self._seq = 0
+
+    def next(self, message_bytes: int) -> int:
+        """Write address for the next message; advances to the next block."""
+        if message_bytes > self.block_size:
+            raise ValueError(
+                f"{message_bytes}-byte message exceeds {self.block_size}-byte block"
+            )
+        block = self._seq % self.blocks
+        self._seq += 1
+        block_end = self.base + (block + 1) * self.block_size
+        # Right-aligned, rounded down to a line boundary so the DMA write
+        # touches exactly the tail lines.
+        lines = -(-message_bytes // CACHE_LINE)
+        return block_end - lines * CACHE_LINE
+
+
+class PhysicalPool:
+    """One physical message pool, registered for remote write access."""
+
+    def __init__(self, node: Node, config: ScaleRpcConfig, index: int):
+        self.node = node
+        self.config = config
+        self.index = index
+        self.region: MemoryRegion = node.register_memory(
+            config.pool_bytes, access=Access.all_remote()
+        )
+        self._cursors = [
+            BlockCursor(self.slot_base(slot), config.block_size, config.blocks_per_client)
+            for slot in range(config.pool_slots)
+        ]
+
+    @property
+    def base(self) -> int:
+        return self.region.range.base
+
+    def slot_base(self, slot: int) -> int:
+        """Base address of slot ``slot``."""
+        if not 0 <= slot < self.config.pool_slots:
+            raise IndexError(f"slot {slot} out of range")
+        return self.base + slot * self.config.slot_bytes
+
+    def slot_of_addr(self, addr: int) -> int:
+        """Which slot an inbound write at ``addr`` landed in."""
+        offset = addr - self.base
+        if not 0 <= offset < self.config.pool_bytes:
+            raise ValueError(f"address {addr:#x} outside pool {self.index}")
+        return offset // self.config.slot_bytes
+
+    def contains(self, addr: int) -> bool:
+        return self.region.range.contains(addr)
+
+    def cursor(self, slot: int) -> BlockCursor:
+        """Server-side deposit cursor (used for warmup read landings).
+
+        Deposits use the same block-tail layout as the clients' direct
+        writes, so the slice's hot lines are shared between the two paths.
+        """
+        return self._cursors[slot]
+
+
+class PoolPair:
+    """The processing/warmup pool pair with epoch-tracked role swapping.
+
+    ``swap()`` is the context-switch point: the warmup pool becomes the
+    processing pool and vice versa, and the epoch advances.  Bindings
+    (which client maps to which slot) are carried by the scheduler's
+    context metadata, not by the pools — the pools are stateless memory.
+    """
+
+    def __init__(self, node: Node, config: ScaleRpcConfig):
+        self.node = node
+        self.config = config
+        self.pools = (PhysicalPool(node, config, 0), PhysicalPool(node, config, 1))
+        self._processing_index = 0
+        self.epoch = 0
+
+    @property
+    def processing(self) -> PhysicalPool:
+        return self.pools[self._processing_index]
+
+    @property
+    def warmup(self) -> PhysicalPool:
+        return self.pools[1 - self._processing_index]
+
+    def swap(self) -> int:
+        """Swap roles; returns the new epoch."""
+        self._processing_index = 1 - self._processing_index
+        self.epoch += 1
+        return self.epoch
+
+    def pool_of_addr(self, addr: int) -> Optional[PhysicalPool]:
+        """The pool containing ``addr``, or None."""
+        for pool in self.pools:
+            if pool.contains(addr):
+                return pool
+        return None

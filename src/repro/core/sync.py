@@ -1,0 +1,171 @@
+"""Global synchronization between RPCServers (paper Section 4.2, Figure 14).
+
+ScaleRPC schedules clients independently per server, so a transaction
+coordinator could be in PROCESS state on one participant while still in
+WARMUP on another, stalling forever.  The fix is an NTP-like protocol that
+makes every RPCServer switch groups at the same pace:
+
+- one server is the *time server*; the others are *followers*;
+- every ``sync_period_ns`` (100 ms in the paper) a follower records
+  ``T_i1``, sends a ``sync`` message, the time server records ``T_i2`` on
+  receipt and ``T_3`` on reply, encapsulating ``ΔT_i = T_3 - T_i2``;
+- on receipt at ``T_i4`` the follower knows the time server replied
+  ``(T_i4 - T_i1 - ΔT_i)/2`` (half the RTT) ago, so it schedules its next
+  switch at ``D_i = D - (T_i4 - T_i1 - ΔT_i)/2`` after the reply arrival,
+  landing on the time server's grid.
+
+The exchanges are real RC send/recv verbs over the fabric, so the protocol
+has its (insignificant) network cost.  Deployment constraint inherited
+from the protocol: synchronized servers must use equal, static time slices
+and admit clients in the same order, so a client's group index matches on
+every participant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..rdma.qp import QueuePair
+from ..rdma.types import Transport
+from ..rdma.verbs import post_recv, post_send
+from .server import ScaleRpcServer
+
+__all__ = ["GlobalSynchronizer", "SyncMessage", "SyncReply"]
+
+_RECV_BUF_BYTES = 256
+_MSG_BYTES = 32
+
+
+@dataclass(frozen=True)
+class SyncMessage:
+    """Follower -> time server."""
+
+    follower: str
+    t1_ns: int
+
+
+@dataclass(frozen=True)
+class SyncReply:
+    """Time server -> follower; carries ΔT and the switch grid anchor."""
+
+    delta_t_ns: int
+    t3_ns: int
+    anchor_ns: int
+    period_ns: int
+
+
+class GlobalSynchronizer:
+    """Aligns the context switches of a set of ScaleRPC servers."""
+
+    def __init__(self, servers: list[ScaleRpcServer], sync_period_ns: int = 100_000_000):
+        if len(servers) < 2:
+            raise ValueError("synchronization needs at least two servers")
+        periods = {s.config.time_slice_ns for s in servers}
+        if len(periods) != 1:
+            raise ValueError("synchronized servers need equal time slices")
+        self.period_ns = periods.pop()
+        self.sync_period_ns = sync_period_ns
+        self.time_server = servers[0]
+        self.followers = servers[1:]
+        self.sim = self.time_server.sim
+        self.sync_rounds = 0
+        self.max_correction_ns = 0
+        self._next_switch: dict[int, int] = {}
+        self._anchor: Optional[int] = None
+        self._links: list[tuple[ScaleRpcServer, QueuePair, QueuePair]] = []
+        self._recv_regions: dict[int, tuple[int, int]] = {}  # qp_num -> (base, next slot)
+        for follower in self.followers:
+            follower_qp = follower.node.create_qp(Transport.RC)
+            server_qp = self.time_server.node.create_qp(Transport.RC)
+            follower_qp.connect(server_qp)
+            self._buffers(follower_qp)
+            self._buffers(server_qp)
+            self._links.append((follower, follower_qp, server_qp))
+        for server in servers:
+            server.synchronizer = self
+
+    def _buffers(self, qp: QueuePair) -> None:
+        region = qp.node.register_memory(16 * _RECV_BUF_BYTES)
+        for i in range(16):
+            post_recv(qp, region.range.base + i * _RECV_BUF_BYTES, _RECV_BUF_BYTES)
+        self._recv_regions[qp.qp_num] = (region.range.base, 0)
+
+    def _repost_recv(self, qp: QueuePair) -> None:
+        base, slot = self._recv_regions[qp.qp_num]
+        post_recv(qp, base + slot * _RECV_BUF_BYTES, _RECV_BUF_BYTES)
+        self._recv_regions[qp.qp_num] = (base, (slot + 1) % 16)
+
+    def start(self) -> None:
+        """Spawn the responder and one sync loop per follower."""
+        for follower, follower_qp, server_qp in self._links:
+            self.sim.process(
+                self._responder(server_qp), name=f"sync.responder.{follower.node.name}"
+            )
+            self.sim.process(
+                self._follower_loop(follower, follower_qp),
+                name=f"sync.follower.{follower.node.name}",
+            )
+
+    # -- protocol -------------------------------------------------------------
+
+    def _responder(self, qp: QueuePair) -> Generator:
+        while True:
+            completion = yield qp.recv_cq.get_event()
+            t2 = self.sim.now
+            # Re-arm the consumed receive buffer.
+            self._repost_recv(qp)
+            t3 = self.sim.now
+            if self._anchor is None:
+                self._anchor = self.sim.now
+            reply = SyncReply(
+                delta_t_ns=t3 - t2,
+                t3_ns=t3,
+                anchor_ns=self._anchor,
+                period_ns=self.period_ns,
+            )
+            post_send(qp, _MSG_BYTES, payload=reply, signaled=False)
+
+    def _follower_loop(self, follower: ScaleRpcServer, qp: QueuePair) -> Generator:
+        while True:
+            t1 = self.sim.now
+            post_send(
+                qp,
+                _MSG_BYTES,
+                payload=SyncMessage(follower.node.name, t1),
+                signaled=False,
+            )
+            completion = yield qp.recv_cq.get_event()
+            t4 = self.sim.now
+            reply: SyncReply = completion.payload
+            self._repost_recv(qp)
+            half_rtt = (t4 - t1 - reply.delta_t_ns) // 2
+            # The reply left the time server half_rtt ago; its next switch
+            # is on the anchor grid.  Place ours on the same grid.
+            t3_local = t4 - half_rtt  # our estimate of "now" at reply time
+            grid_offset = (t3_local - reply.anchor_ns) % self.period_ns
+            target = t4 + (self.period_ns - grid_offset) % self.period_ns
+            self._next_switch[id(follower)] = target
+            self.max_correction_ns = max(self.max_correction_ns, half_rtt)
+            self.sync_rounds += 1
+            yield self.sim.timeout(self.sync_period_ns)
+
+    # -- scheduler hook ----------------------------------------------------------
+
+    def sleep_slice(self, server: ScaleRpcServer, slice_ns: int) -> Generator:
+        """Sleep until the server's next aligned switch point."""
+        now = self.sim.now
+        if server is self.time_server:
+            if self._anchor is None:
+                self._anchor = now
+            base = self._anchor
+        else:
+            base = self._next_switch.get(id(server))
+            if base is None:
+                # Not yet synchronized: free-run this slice.
+                yield self.sim.timeout(slice_ns)
+                return
+        target = base
+        while target <= now:
+            target += self.period_ns
+        yield self.sim.timeout(target - now)

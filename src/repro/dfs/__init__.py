@@ -1,0 +1,67 @@
+"""Octopus-like distributed file system: MDS, namespace, self-identified RPC."""
+
+from .client import DfsClient
+from .dataserver import (
+    DEFAULT_EXTENT_BYTES,
+    DataPath,
+    DataServer,
+    Extent,
+    ExtentAllocator,
+)
+from .mds import (
+    OP_ALLOC,
+    OP_LAYOUT,
+    OP_MKDIR,
+    OP_MKNOD,
+    OP_READDIR,
+    OP_RMNOD,
+    OP_STAT,
+    MdsCosts,
+    MetadataService,
+)
+from .mdtest import DFS_RPC_SYSTEMS, MdtestConfig, MdtestResult, run_mdtest
+from .namespace import (
+    DirectoryNotEmptyError,
+    ExistsError,
+    FsError,
+    FsNamespace,
+    Inode,
+    InodeType,
+    NotADirectoryError_,
+    NotFoundError,
+    StatResult,
+)
+from .selfrpc import SelfRpcClient, SelfRpcServer
+
+__all__ = [
+    "DEFAULT_EXTENT_BYTES",
+    "DFS_RPC_SYSTEMS",
+    "DataPath",
+    "DataServer",
+    "DfsClient",
+    "Extent",
+    "ExtentAllocator",
+    "OP_ALLOC",
+    "OP_LAYOUT",
+    "DirectoryNotEmptyError",
+    "ExistsError",
+    "FsError",
+    "FsNamespace",
+    "Inode",
+    "InodeType",
+    "MdsCosts",
+    "MdtestConfig",
+    "MdtestResult",
+    "MetadataService",
+    "NotADirectoryError_",
+    "NotFoundError",
+    "OP_MKDIR",
+    "OP_MKNOD",
+    "OP_READDIR",
+    "OP_RMNOD",
+    "OP_STAT",
+    "SelfRpcClient",
+    "SelfRpcServer",
+    "StatResult",
+    "run_mdtest",
+]

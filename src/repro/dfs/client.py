@@ -1,0 +1,121 @@
+"""Client-side API of the distributed file system.
+
+Wraps any :class:`~repro.core.api.RpcClientApi` endpoint with the
+metadata operations; all methods are simulation generators returning the
+operation's result (or raising the :class:`~repro.dfs.namespace.FsError`
+the MDS reported).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..core.api import CallHandle, RpcClientApi
+from .mds import (
+    OP_MKDIR,
+    OP_MKNOD,
+    OP_READDIR,
+    OP_RMNOD,
+    OP_STAT,
+    MetadataService,
+)
+from .namespace import FsError
+
+__all__ = ["DfsClient"]
+
+
+class DfsClient:
+    """One file-system client.
+
+    Metadata goes through the RPC layer; file data (when a
+    :class:`~repro.dfs.dataserver.DataPath` is attached) moves with
+    one-sided RDMA directly against the data servers' shared memory pool.
+    """
+
+    def __init__(self, rpc: RpcClientApi, data_path=None):
+        self.rpc = rpc
+        self.data_path = data_path
+
+    # -- single-shot operations (yield from) --------------------------------
+
+    def _call(self, op: str, path: str) -> Generator:
+        response = yield from self.rpc.sync_call(
+            op, payload=path, data_bytes=MetadataService.request_bytes(path)
+        )
+        result = response.payload
+        if isinstance(result, FsError):
+            raise result
+        return result
+
+    def mknod(self, path: str) -> Generator:
+        """Create a file."""
+        return (yield from self._call(OP_MKNOD, path))
+
+    def mkdir(self, path: str) -> Generator:
+        """Create a directory."""
+        return (yield from self._call(OP_MKDIR, path))
+
+    def rmnod(self, path: str) -> Generator:
+        """Remove a file or empty directory."""
+        return (yield from self._call(OP_RMNOD, path))
+
+    def stat(self, path: str) -> Generator:
+        """Look up attributes."""
+        return (yield from self._call(OP_STAT, path))
+
+    def readdir(self, path: str) -> Generator:
+        """List a directory."""
+        return (yield from self._call(OP_READDIR, path))
+
+    # -- data path (one-sided file I/O) -------------------------------------
+
+    def write_file(self, path: str, nbytes: int, data=None) -> Generator:
+        """Append ``nbytes`` of data: allocate extents via the MDS, then
+        RDMA-write directly to the data servers (no server CPU)."""
+        if self.data_path is None:
+            raise RuntimeError("no data path attached to this client")
+        from .mds import OP_ALLOC
+
+        response = yield from self.rpc.sync_call(
+            OP_ALLOC, payload=(path, nbytes), data_bytes=48 + len(path)
+        )
+        result = response.payload
+        if isinstance(result, FsError):
+            raise result
+        extents = list(result)
+        yield from self.data_path.write_extents(extents, data)
+        return extents
+
+    def read_file(self, path: str) -> Generator:
+        """Fetch the layout via the MDS, then RDMA-read every extent."""
+        if self.data_path is None:
+            raise RuntimeError("no data path attached to this client")
+        from .mds import OP_LAYOUT
+
+        response = yield from self.rpc.sync_call(
+            OP_LAYOUT, payload=path, data_bytes=32 + len(path)
+        )
+        result = response.payload
+        if isinstance(result, FsError):
+            raise result
+        size, extents = result
+        chunks = yield from self.data_path.read_extents(list(extents))
+        return size, chunks
+
+    # -- batched operations (the mdtest pattern) ---------------------------
+
+    def post_batch(self, op: str, paths: list[str]) -> Generator:
+        """Asynchronously post one op per path; returns the handles."""
+        handles: list[CallHandle] = []
+        for path in paths:
+            handle = yield from self.rpc.async_call(
+                op, payload=path, data_bytes=MetadataService.request_bytes(path)
+            )
+            handles.append(handle)
+        yield from self.rpc.flush()
+        return handles
+
+    def wait_batch(self, handles: list[CallHandle]) -> Generator:
+        """Wait for a posted batch; returns the result payloads."""
+        responses = yield from self.rpc.poll_completions(handles)
+        return [r.payload for r in responses]

@@ -1,0 +1,195 @@
+"""The mdtest-style metadata benchmark (paper Figures 1(a) and 13).
+
+Each client works in a private directory (as mdtest does).  Throughput is
+measured per operation type in separate phases with closed-loop batched
+clients, matching the paper's methodology:
+
+- **Mknod** — create fresh files,
+- **Stat** — look up pre-created files,
+- **ReadDir** — list the client's directory,
+- **Rmnod** — remove files from a pre-seeded pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines import BaselineConfig, RawWriteServer
+from ..core import ScaleRpcConfig, ScaleRpcServer
+from ..rdma import Fabric, Node
+from ..sim import Simulator
+from .client import DfsClient
+from .mds import OP_MKNOD, OP_READDIR, OP_RMNOD, OP_STAT, MetadataService
+from .selfrpc import SelfRpcServer
+
+__all__ = ["MdtestConfig", "MdtestResult", "run_mdtest", "DFS_RPC_SYSTEMS"]
+
+#: RPC layers comparable in the DFS: both support variable-sized replies
+#: over RC.  UD-based RPCs (HERD/FaSST) are excluded, as in the paper,
+#: because large ReadDir replies exceed the 4 KB UD MTU.
+DFS_RPC_SYSTEMS = ("selfrpc", "scalerpc", "rawwrite")
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass
+class MdtestConfig:
+    """One mdtest run."""
+
+    rpc_system: str = "scalerpc"
+    n_clients: int = 40
+    n_client_machines: int = 11
+    files_per_client: int = 16
+    seeded_per_client: int = 800  # pre-created files the Rmnod phase consumes
+    batch_size: int = 1  # mdtest clients are sequential
+    measure_ns: int = 1_200_000
+    settle_ns: int = 300_000
+    group_size: int = 40
+    time_slice_ns: int = 100_000
+
+    def __post_init__(self):
+        if self.rpc_system not in DFS_RPC_SYSTEMS:
+            raise ValueError(
+                f"unknown rpc system {self.rpc_system!r}; pick from {DFS_RPC_SYSTEMS}"
+            )
+        if self.n_clients < 1 or self.batch_size < 1:
+            raise ValueError("n_clients and batch_size must be >= 1")
+
+
+@dataclass
+class MdtestResult:
+    """Throughput per metadata operation, in Mops/s."""
+
+    config: MdtestConfig
+    mknod_mops: float = 0.0
+    stat_mops: float = 0.0
+    readdir_mops: float = 0.0
+    rmnod_mops: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Mknod": self.mknod_mops,
+            "Stat": self.stat_mops,
+            "ReadDir": self.readdir_mops,
+            "Rmnod": self.rmnod_mops,
+        }
+
+
+def _build_server(config: MdtestConfig, node: Node, mds: MetadataService):
+    if config.rpc_system == "scalerpc":
+        return ScaleRpcServer(
+            node,
+            mds.handler,
+            config=ScaleRpcConfig(
+                group_size=config.group_size,
+                time_slice_ns=config.time_slice_ns,
+            ),
+            handler_cost_fn=mds.handler_cost_fn,
+            response_bytes=mds.response_bytes_fn,
+        )
+    cls = SelfRpcServer if config.rpc_system == "selfrpc" else RawWriteServer
+    return cls(
+        node,
+        mds.handler,
+        config=BaselineConfig(),
+        handler_cost_fn=mds.handler_cost_fn,
+        response_bytes=mds.response_bytes_fn,
+    )
+
+
+def run_mdtest(config: MdtestConfig, seed: int = 1) -> MdtestResult:
+    """Run the four mdtest phases and measure per-op throughput."""
+    sim = Simulator()
+    fabric = Fabric(sim)
+    mds_node = Node(sim, "mds", fabric)
+    mds = MetadataService(mds_node)
+    server = _build_server(config, mds_node, mds)
+    machines = [
+        Node(sim, f"m{i}", fabric) for i in range(config.n_client_machines)
+    ]
+    clients = [
+        DfsClient(server.connect(machines[i % len(machines)]))
+        for i in range(config.n_clients)
+    ]
+    server.start()
+
+    # Setup (outside the measurement, as in mdtest): per-client directory,
+    # stat targets, and the pool of files the Rmnod phase removes.
+    mds.namespace.mkdir("/mdtest")
+    stat_targets: dict[int, list[str]] = {}
+    rm_pool: dict[int, list[str]] = {}
+    for index in range(config.n_clients):
+        directory = f"/mdtest/c{index}"
+        mds.namespace.mkdir(directory)
+        # Seeds and fresh creates live in sibling subdirectories so the
+        # ReadDir phase lists a directory of files_per_client entries.
+        mds.namespace.mkdir(f"{directory}/pool")
+        mds.namespace.mkdir(f"{directory}/new")
+        stat_targets[index] = []
+        for j in range(config.files_per_client):
+            path = f"{directory}/f{j}"
+            mds.namespace.mknod(path)
+            stat_targets[index].append(path)
+        rm_pool[index] = []
+        for j in range(config.seeded_per_client):
+            path = f"{directory}/pool/seed{j}"
+            mds.namespace.mknod(path)
+            rm_pool[index].append(path)
+
+    counters = {OP_MKNOD: 0, OP_STAT: 0, OP_READDIR: 0, OP_RMNOD: 0}
+    phase: dict[str, Optional[str] | bool] = {"op": None, "measuring": False}
+    created_seq = [0] * config.n_clients
+
+    def next_targets(index: int, op: str) -> list[str]:
+        directory = f"/mdtest/c{index}"
+        batch = config.batch_size
+        if op == OP_MKNOD:
+            start = created_seq[index]
+            created_seq[index] += batch
+            return [f"{directory}/new/x{start + j}" for j in range(batch)]
+        if op == OP_STAT:
+            files = stat_targets[index]
+            return [files[j % len(files)] for j in range(batch)]
+        if op == OP_READDIR:
+            return [directory] * batch
+        pool = rm_pool[index]
+        targets = pool[-batch:] if len(pool) >= batch else list(pool)
+        del pool[-len(targets):]
+        if not targets:  # pool exhausted; keep the loop alive
+            return [f"{directory}/pool/gone"] * batch
+        return targets
+
+    def client_loop(sim, index, client):
+        while True:
+            op = phase["op"]
+            if op is None:
+                yield sim.timeout(10_000)
+                continue
+            targets = next_targets(index, op)
+            handles = yield from client.post_batch(op, targets)
+            yield from client.wait_batch(handles)
+            if phase["measuring"] and phase["op"] is op:
+                counters[op] += len(handles)
+
+    for index, client in enumerate(clients):
+        sim.process(client_loop(sim, index, client), name=f"mdtest.c{index}")
+
+    result = MdtestResult(config=config)
+
+    def measure(op: str) -> float:
+        phase["op"] = op
+        phase["measuring"] = False
+        sim.run(until=sim.now + config.settle_ns)
+        phase["measuring"] = True
+        start = sim.now
+        sim.run(until=start + config.measure_ns)
+        phase["measuring"] = False
+        return counters[op] * NS_PER_S / (sim.now - start) / 1e6
+
+    result.mknod_mops = measure(OP_MKNOD)
+    result.stat_mops = measure(OP_STAT)
+    result.readdir_mops = measure(OP_READDIR)
+    result.rmnod_mops = measure(OP_RMNOD)
+    phase["op"] = None
+    return result

@@ -1,0 +1,205 @@
+"""In-memory file-system namespace for the metadata server.
+
+A real (not mocked) hierarchical namespace: inodes, directories with entry
+maps, POSIX-style path resolution, and the four metadata operations the
+paper's evaluation exercises (Mknod, Rmnod, Stat, ReadDir) plus Mkdir.
+This is the Octopus-like MDS's data structure; per-operation software
+costs live in :mod:`repro.dfs.mds`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = [
+    "FsError",
+    "NotFoundError",
+    "ExistsError",
+    "NotADirectoryError_",
+    "DirectoryNotEmptyError",
+    "InodeType",
+    "Inode",
+    "FsNamespace",
+    "StatResult",
+]
+
+
+class FsError(Exception):
+    """Base class for namespace errors (returned, not raised, over RPC)."""
+
+
+class NotFoundError(FsError):
+    pass
+
+
+class ExistsError(FsError):
+    pass
+
+
+class NotADirectoryError_(FsError):
+    pass
+
+
+class DirectoryNotEmptyError(FsError):
+    pass
+
+
+class InodeType:
+    FILE = "file"
+    DIRECTORY = "dir"
+
+
+_inode_numbers = itertools.count(1)
+
+
+@dataclass
+class Inode:
+    """One file or directory."""
+
+    itype: str
+    ino: int = field(default_factory=lambda: next(_inode_numbers))
+    size: int = 0
+    ctime_ns: int = 0
+    mtime_ns: int = 0
+    entries: Optional[dict[str, "Inode"]] = None  # directories only
+    extents: Optional[list] = None  # files: data-path layout
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype == InodeType.DIRECTORY
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """What Stat returns (roughly ``struct stat``)."""
+
+    ino: int
+    itype: str
+    size: int
+    ctime_ns: int
+    mtime_ns: int
+    nlink: int
+
+
+def _split(path: str) -> list[str]:
+    if not path.startswith("/"):
+        raise FsError(f"path must be absolute: {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+class FsNamespace:
+    """The namespace tree."""
+
+    def __init__(self):
+        self.root = Inode(itype=InodeType.DIRECTORY, entries={})
+        self.n_inodes = 1
+
+    # -- resolution -------------------------------------------------------
+
+    def _lookup(self, path: str) -> Inode:
+        node = self.root
+        for part in _split(path):
+            if not node.is_dir:
+                raise NotADirectoryError_(path)
+            child = node.entries.get(part)
+            if child is None:
+                raise NotFoundError(path)
+            node = child
+        return node
+
+    def _lookup_parent(self, path: str) -> tuple[Inode, str]:
+        parts = _split(path)
+        if not parts:
+            raise FsError("cannot operate on the root")
+        parent = self.root
+        for part in parts[:-1]:
+            if not parent.is_dir:
+                raise NotADirectoryError_(path)
+            child = parent.entries.get(part)
+            if child is None:
+                raise NotFoundError(path)
+            parent = child
+        if not parent.is_dir:
+            raise NotADirectoryError_(path)
+        return parent, parts[-1]
+
+    # -- operations ---------------------------------------------------------
+
+    def mknod(self, path: str, now_ns: int = 0) -> StatResult:
+        """Create an empty file."""
+        parent, name = self._lookup_parent(path)
+        if name in parent.entries:
+            raise ExistsError(path)
+        inode = Inode(itype=InodeType.FILE, ctime_ns=now_ns, mtime_ns=now_ns)
+        parent.entries[name] = inode
+        parent.mtime_ns = now_ns
+        self.n_inodes += 1
+        return self._stat_of(inode)
+
+    def mkdir(self, path: str, now_ns: int = 0) -> StatResult:
+        """Create an empty directory."""
+        parent, name = self._lookup_parent(path)
+        if name in parent.entries:
+            raise ExistsError(path)
+        inode = Inode(
+            itype=InodeType.DIRECTORY, entries={}, ctime_ns=now_ns, mtime_ns=now_ns
+        )
+        parent.entries[name] = inode
+        parent.mtime_ns = now_ns
+        self.n_inodes += 1
+        return self._stat_of(inode)
+
+    def rmnod(self, path: str, now_ns: int = 0) -> None:
+        """Remove a file or an empty directory."""
+        parent, name = self._lookup_parent(path)
+        inode = parent.entries.get(name)
+        if inode is None:
+            raise NotFoundError(path)
+        if inode.is_dir and inode.entries:
+            raise DirectoryNotEmptyError(path)
+        del parent.entries[name]
+        parent.mtime_ns = now_ns
+        self.n_inodes -= 1
+
+    def stat(self, path: str) -> StatResult:
+        """Look up one path's attributes."""
+        return self._stat_of(self._lookup(path))
+
+    def readdir(self, path: str) -> list[str]:
+        """List a directory's entry names."""
+        inode = self._lookup(path)
+        if not inode.is_dir:
+            raise NotADirectoryError_(path)
+        return sorted(inode.entries)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(path)
+            return True
+        except FsError:
+            return False
+
+    def walk(self) -> Iterator[str]:
+        """Iterate every path in the namespace (for tests)."""
+
+        def recurse(node: Inode, prefix: str) -> Iterator[str]:
+            for name, child in node.entries.items():
+                path = f"{prefix}/{name}"
+                yield path
+                if child.is_dir:
+                    yield from recurse(child, path)
+
+        return recurse(self.root, "")
+
+    @staticmethod
+    def _stat_of(inode: Inode) -> StatResult:
+        return StatResult(
+            ino=inode.ino,
+            itype=inode.itype,
+            size=inode.size,
+            ctime_ns=inode.ctime_ns,
+            mtime_ns=inode.mtime_ns,
+            nlink=len(inode.entries) + 2 if inode.is_dir else 1,
+        )

@@ -1,0 +1,89 @@
+"""PCM-like hardware-counter monitoring over simulation windows.
+
+The paper collects PCIe/LLC counters with Intel PCM while a workload runs
+and reports them as rates (Mops/s).  :class:`CounterMonitor` does the same
+for a simulated node: mark the start of a measurement window, run the
+simulation, then read back per-second rates for each counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .llc import LastLevelCache
+from .pcie import PcieCounters, PcieSnapshot
+
+__all__ = ["CounterRates", "CounterMonitor"]
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class CounterRates:
+    """Counter rates over one measurement window, in events per second."""
+
+    window_ns: int
+    pcie_rd_cur_per_s: float
+    rfo_per_s: float
+    itom_per_s: float
+    pcie_itom_per_s: float
+    l3_miss_rate: float
+
+    def scaled(self, unit: float = 1e6) -> dict[str, float]:
+        """Rates divided by ``unit`` (default: millions per second)."""
+        return {
+            "PCIeRdCur": self.pcie_rd_cur_per_s / unit,
+            "RFO": self.rfo_per_s / unit,
+            "ItoM": self.itom_per_s / unit,
+            "PCIeItoM": self.pcie_itom_per_s / unit,
+        }
+
+
+class CounterMonitor:
+    """Snapshots PCIe counters and LLC stats over a simulated window."""
+
+    def __init__(self, sim: Simulator, counters: PcieCounters, llc: Optional[LastLevelCache] = None):
+        self.sim = sim
+        self.counters = counters
+        self.llc = llc
+        self._start_ns: Optional[int] = None
+        self._start_snapshot: Optional[PcieSnapshot] = None
+        self._start_cpu_hits = 0
+        self._start_cpu_misses = 0
+
+    def start(self) -> None:
+        """Begin a measurement window at the current simulated time."""
+        self._start_ns = self.sim.now
+        self._start_snapshot = self.counters.snapshot()
+        if self.llc is not None:
+            self._start_cpu_hits = self.llc.stats.cpu_hits
+            self._start_cpu_misses = self.llc.stats.cpu_misses
+
+    def stop(self) -> CounterRates:
+        """Close the window and return per-second counter rates."""
+        if self._start_ns is None or self._start_snapshot is None:
+            raise RuntimeError("CounterMonitor.stop() before start()")
+        window_ns = self.sim.now - self._start_ns
+        if window_ns <= 0:
+            raise RuntimeError("empty measurement window")
+        delta = self.counters.snapshot().delta(self._start_snapshot)
+        scale = NS_PER_S / window_ns
+        if self.llc is not None:
+            hits = self.llc.stats.cpu_hits - self._start_cpu_hits
+            misses = self.llc.stats.cpu_misses - self._start_cpu_misses
+            accesses = hits + misses
+            miss_rate = misses / accesses if accesses else 0.0
+        else:
+            miss_rate = 0.0
+        self._start_ns = None
+        self._start_snapshot = None
+        return CounterRates(
+            window_ns=window_ns,
+            pcie_rd_cur_per_s=delta.pcie_rd_cur * scale,
+            rfo_per_s=delta.rfo * scale,
+            itom_per_s=delta.itom * scale,
+            pcie_itom_per_s=delta.pcie_itom * scale,
+            l3_miss_rate=miss_rate,
+        )

@@ -1,0 +1,258 @@
+"""Set-associative last-level cache with DDIO (Data Direct I/O).
+
+With DDIO the NIC writes inbound payloads directly into the CPU's LLC
+(step 4 of the paper's Figure 2).  Two behaviours matter for scalability:
+
+- *Write Update*: a DMA write whose target line already resides anywhere in
+  the LLC updates it in place (cheap; counted as ItoM/RFO).
+- *Write Allocate*: a DMA write that misses must allocate a line, but DDIO
+  restricts allocation to ~10% of the LLC (2 of the ways here) on typical
+  Intel CPUs.  Each allocation is counted as PCIeItoM; sustained allocation
+  pressure is the thrashing mechanism behind the paper's Figure 3(b).
+
+The cache is modelled *set-associatively* — per-set LRU over
+``ways``-entry sets, with DMA allocations restricted to ``ddio_ways`` ways
+of each set — because associativity is load-bearing for the paper's
+results: message pools are *strided* (one message block per client slot),
+so a pool of B-byte blocks only ever touches sets ``(stride * k) mod
+n_sets``.  Larger blocks concentrate the same number of hot lines onto
+fewer sets, and the pool stops fitting even though its hot-line count is
+unchanged — exactly why Figure 3(b) collapses once blocks exceed 2 KB
+(400 clients x 20 blocks at 2 KB stride exhaust the reachable sets).
+
+A CPU access to a DDIO-resident line *promotes* it to a regular way,
+mirroring how lines touched by the core stop being write-allocate victims;
+after that the NIC's next write to the line is a cheap in-place update.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from .pcie import PcieCounters
+
+__all__ = ["LlcParams", "DmaWriteResult", "CpuAccessResult", "LastLevelCache"]
+
+KIB = 1024
+MIB = 1024 * KIB
+
+_DDIO = 0  # line allocated by a DMA write (write-allocate ways)
+_MAIN = 1  # line owned by the core
+
+
+@dataclass
+class LlcParams:
+    """Geometry and latency parameters of the LLC model.
+
+    The 12 MiB / 16-way geometry is calibrated (DESIGN.md section 4) so
+    that 4 KB-strided message pools reach 192 sets x 16 ways = 3072 hot
+    lines — placing RawWrite's static-pool overflow at ~150 clients
+    (Figure 10) and the Figure 3(b) cliff at 2 KB blocks, as measured.
+    """
+
+    capacity_bytes: int = 12 * MIB
+    line_size: int = 64
+    ways: int = 16
+    ddio_ways: int = 2
+    cpu_hit_ns: int = 4
+    cpu_miss_ns: int = 90
+
+    def __post_init__(self):
+        if self.capacity_bytes < self.line_size * self.ways:
+            raise ValueError("LLC smaller than one set")
+        if self.ways < 2:
+            raise ValueError("need at least 2 ways")
+        if not 0 < self.ddio_ways < self.ways:
+            raise ValueError("ddio_ways must be in (0, ways)")
+        if self.capacity_bytes % (self.line_size * self.ways):
+            raise ValueError("capacity must be a whole number of sets")
+
+    @property
+    def total_lines(self) -> int:
+        return self.capacity_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.total_lines // self.ways
+
+
+@dataclass(frozen=True)
+class DmaWriteResult:
+    """Outcome of one DMA write through the LLC."""
+
+    lines: int
+    update_hits: int
+    allocations: int  # Write Allocate events (PCIeItoM)
+    full_lines: int
+    partial_lines: int
+
+
+@dataclass(frozen=True)
+class CpuAccessResult:
+    """Outcome of one CPU read/write through the LLC."""
+
+    lines: int
+    hits: int
+    misses: int
+    cost_ns: int
+
+
+@dataclass
+class LlcStats:
+    """Aggregate hit/miss accounting for one LLC."""
+
+    cpu_hits: int = 0
+    cpu_misses: int = 0
+    dma_update_hits: int = 0
+    dma_allocations: int = 0
+
+    @property
+    def cpu_accesses(self) -> int:
+        return self.cpu_hits + self.cpu_misses
+
+    @property
+    def l3_miss_rate(self) -> float:
+        total = self.cpu_accesses
+        return self.cpu_misses / total if total else 0.0
+
+    @property
+    def dma_writes(self) -> int:
+        return self.dma_update_hits + self.dma_allocations
+
+    @property
+    def dma_allocate_rate(self) -> float:
+        total = self.dma_writes
+        return self.dma_allocations / total if total else 0.0
+
+
+class LastLevelCache:
+    """Per-set-LRU, DDIO-partitioned last-level cache."""
+
+    def __init__(self, params: Optional[LlcParams] = None, counters: Optional[PcieCounters] = None):
+        self.params = params or LlcParams()
+        self.counters = counters or PcieCounters()
+        # One OrderedDict per set: line -> owner tag, LRU order.
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self.params.n_sets)
+        ]
+        self.stats = LlcStats()
+
+    # -- geometry helpers -------------------------------------------------
+
+    def _line_span(self, addr: int, size: int) -> range:
+        """Line indices covered by [addr, addr + size)."""
+        if size <= 0:
+            raise ValueError(f"access size must be positive, got {size}")
+        line = self.params.line_size
+        first = addr // line
+        last = (addr + size - 1) // line
+        return range(first, last + 1)
+
+    def _set_of(self, line: int) -> OrderedDict:
+        return self._sets[line % self.params.n_sets]
+
+    def resident(self, addr: int, size: int = 1) -> bool:
+        """True when every line of the range is somewhere in the LLC."""
+        return all(ln in self._set_of(ln) for ln in self._line_span(addr, size))
+
+    @property
+    def occupied_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    # -- DMA (NIC-initiated) path -----------------------------------------
+
+    def dma_write(self, addr: int, size: int) -> DmaWriteResult:
+        """Model an inbound DMA write from the NIC, updating PCM counters."""
+        line_size = self.params.line_size
+        update_hits = 0
+        allocations = 0
+        full_lines = 0
+        partial_lines = 0
+        end = addr + size
+        span = self._line_span(addr, size)
+        for ln in span:
+            line_start = ln * line_size
+            if addr <= line_start and end >= line_start + line_size:
+                full_lines += 1
+                self.counters.itom += 1
+            else:
+                partial_lines += 1
+                self.counters.rfo += 1
+            cache_set = self._set_of(ln)
+            if ln in cache_set:
+                cache_set.move_to_end(ln)  # write update, refresh recency
+                update_hits += 1
+                continue
+            # Write Allocate: restricted to the DDIO ways of this set.
+            self.counters.pcie_itom += 1
+            allocations += 1
+            ddio_lines = [l for l, tag in cache_set.items() if tag == _DDIO]
+            if len(ddio_lines) >= self.params.ddio_ways:
+                del cache_set[ddio_lines[0]]  # LRU among DDIO lines
+            elif len(cache_set) >= self.params.ways:
+                self._evict_main(cache_set)
+            cache_set[ln] = _DDIO
+        self.stats.dma_update_hits += update_hits
+        self.stats.dma_allocations += allocations
+        return DmaWriteResult(
+            lines=len(span),
+            update_hits=update_hits,
+            allocations=allocations,
+            full_lines=full_lines,
+            partial_lines=partial_lines,
+        )
+
+    @staticmethod
+    def _evict_main(cache_set: OrderedDict) -> None:
+        """Evict the LRU core-owned line (fallback: LRU overall)."""
+        for line, tag in cache_set.items():
+            if tag == _MAIN:
+                del cache_set[line]
+                return
+        cache_set.popitem(last=False)
+
+    def dma_read(self, addr: int, size: int) -> int:
+        """Model the NIC's DMA read of an outbound payload.
+
+        Returns the number of lines read; each is a PCIeRdCur event.  (DDIO
+        reads may hit the LLC, but PCM counts the PCIe read transaction
+        either way, which is what Figure 3(a) plots.)
+        """
+        lines = len(self._line_span(addr, size))
+        self.counters.pcie_rd_cur += lines
+        return lines
+
+    # -- CPU path ----------------------------------------------------------
+
+    def cpu_access(self, addr: int, size: int, write: bool = False) -> CpuAccessResult:
+        """Model a CPU load/store; DDIO-resident lines are promoted."""
+        hits = 0
+        misses = 0
+        for ln in self._line_span(addr, size):
+            cache_set = self._set_of(ln)
+            if ln in cache_set:
+                # Core touched the line: it stops being a write-allocate
+                # victim (promotion out of the DDIO ways).
+                cache_set[ln] = _MAIN
+                cache_set.move_to_end(ln)
+                hits += 1
+            else:
+                misses += 1
+                if len(cache_set) >= self.params.ways:
+                    cache_set.popitem(last=False)  # LRU overall
+                cache_set[ln] = _MAIN
+        self.stats.cpu_hits += hits
+        self.stats.cpu_misses += misses
+        cost = hits * self.params.cpu_hit_ns + misses * self.params.cpu_miss_ns
+        return CpuAccessResult(lines=hits + misses, hits=hits, misses=misses, cost_ns=cost)
+
+    def flush(self) -> None:
+        """Invalidate all lines (counters/stats preserved)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the LLC aggregate stats."""
+        self.stats = LlcStats()

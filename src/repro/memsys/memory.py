@@ -1,0 +1,89 @@
+"""Physical memory model: address space, huge-page allocation, regions.
+
+The RPCServer of the paper "allocates and registers huge pages (typically
+2 MB for each page) of memory ... using mmap" for its message pool.  Here a
+:class:`PhysicalMemory` hands out address ranges with a bump allocator;
+RDMA registration (:mod:`repro.rdma.mr`) layers protection keys on top.
+Addresses are plain integers so the cache models can derive line indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HUGE_PAGE_SIZE", "MemoryRange", "OutOfMemoryError", "PhysicalMemory"]
+
+HUGE_PAGE_SIZE = 2 * 1024 * 1024  # 2 MB, the paper's huge-page size
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when an allocation does not fit the remaining address space."""
+
+
+@dataclass(frozen=True)
+class MemoryRange:
+    """A contiguous allocated address range ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        """True when ``[addr, addr+size)`` lies inside this range."""
+        return self.base <= addr and addr + size <= self.end
+
+    def offset_of(self, addr: int) -> int:
+        """Byte offset of ``addr`` from the range base."""
+        if not self.contains(addr):
+            raise ValueError(f"address {addr:#x} outside range")
+        return addr - self.base
+
+
+class PhysicalMemory:
+    """A node's DRAM, carved out by a bump allocator.
+
+    The first page is left unallocated so that address 0 never appears in a
+    valid range (a null-address canary for the verb layer).
+    """
+
+    def __init__(self, capacity_bytes: int = 128 * 1024 * 1024 * 1024):
+        if capacity_bytes <= HUGE_PAGE_SIZE:
+            raise ValueError("memory capacity too small")
+        self.capacity_bytes = capacity_bytes
+        self._next = HUGE_PAGE_SIZE
+        self.ranges: list[MemoryRange] = []
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._next - HUGE_PAGE_SIZE
+
+    def allocate(self, size: int, alignment: int = 64) -> MemoryRange:
+        """Allocate ``size`` bytes aligned to ``alignment``."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError(f"alignment must be a power of two, got {alignment}")
+        base = (self._next + alignment - 1) & ~(alignment - 1)
+        if base + size > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"requested {size} bytes, {self.capacity_bytes - self._next} free"
+            )
+        self._next = base + size
+        memory_range = MemoryRange(base, size)
+        self.ranges.append(memory_range)
+        return memory_range
+
+    def allocate_huge_pages(self, size: int) -> MemoryRange:
+        """Allocate ``size`` rounded up to whole 2 MB huge pages."""
+        pages = (size + HUGE_PAGE_SIZE - 1) // HUGE_PAGE_SIZE
+        return self.allocate(pages * HUGE_PAGE_SIZE, alignment=HUGE_PAGE_SIZE)
+
+    def owner_range(self, addr: int) -> MemoryRange:
+        """Find the allocated range containing ``addr``."""
+        for memory_range in self.ranges:
+            if memory_range.contains(addr):
+                return memory_range
+        raise ValueError(f"address {addr:#x} is not allocated")

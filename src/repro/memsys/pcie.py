@@ -1,0 +1,66 @@
+"""PCM-style PCIe event counters.
+
+The paper analyses its mechanisms with four uncore counters collected by
+Intel's Processor Counter Monitor (Section 3.6.3):
+
+- ``PCIeRdCur`` — reads of data blocks from memory by a PCIe device
+  (payload DMA reads plus QP-context/WQE refetches on NIC cache misses),
+- ``RFO``      — partial data-block writes from a PCIe device,
+- ``ItoM``     — full data-block writes from a PCIe device,
+- ``PCIeItoM`` — full data-block writes that had to *allocate* in the LLC
+  (the DDIO Write Allocate path).
+
+Our NIC and LLC models increment these counters mechanistically; benches
+report them exactly as the paper's Figure 3 and Figure 10 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PcieCounters", "PcieSnapshot"]
+
+
+@dataclass(frozen=True)
+class PcieSnapshot:
+    """An immutable copy of the counters at one instant."""
+
+    pcie_rd_cur: int
+    rfo: int
+    itom: int
+    pcie_itom: int
+
+    def delta(self, earlier: "PcieSnapshot") -> "PcieSnapshot":
+        """Counter increments between ``earlier`` and this snapshot."""
+        return PcieSnapshot(
+            pcie_rd_cur=self.pcie_rd_cur - earlier.pcie_rd_cur,
+            rfo=self.rfo - earlier.rfo,
+            itom=self.itom - earlier.itom,
+            pcie_itom=self.pcie_itom - earlier.pcie_itom,
+        )
+
+    @property
+    def total_writes(self) -> int:
+        """RFO + ItoM: all PCIe-to-memory write operations."""
+        return self.rfo + self.itom
+
+
+class PcieCounters:
+    """Mutable PCIe event counters for one node."""
+
+    def __init__(self):
+        self.pcie_rd_cur = 0
+        self.rfo = 0
+        self.itom = 0
+        self.pcie_itom = 0
+
+    def snapshot(self) -> PcieSnapshot:
+        """Copy the current counter values."""
+        return PcieSnapshot(self.pcie_rd_cur, self.rfo, self.itom, self.pcie_itom)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.pcie_rd_cur = 0
+        self.rfo = 0
+        self.itom = 0
+        self.pcie_itom = 0

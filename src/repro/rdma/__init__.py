@@ -1,0 +1,60 @@
+"""RDMA substrate: verbs, queue pairs, NIC model, fabric, nodes."""
+
+from .cq import Completion, CompletionQueue
+from .fabric import Fabric, WireParams
+from .mr import Access, MemoryRegion, MrTable, ProtectionError
+from .nic import Nic, NicStats
+from .node import InboundWrite, Node
+from .qp import AddressHandle, QpError, QpState, QueuePair, RecvWqe
+from .types import (
+    CAPABILITIES,
+    NicParams,
+    Opcode,
+    Transport,
+    max_message_size,
+    supports,
+)
+from .verbs import (
+    VerbError,
+    WorkRequest,
+    post_cas,
+    post_fetch_add,
+    post_read,
+    post_recv,
+    post_send,
+    post_write,
+)
+
+__all__ = [
+    "CAPABILITIES",
+    "Access",
+    "AddressHandle",
+    "Completion",
+    "CompletionQueue",
+    "Fabric",
+    "InboundWrite",
+    "MemoryRegion",
+    "MrTable",
+    "Nic",
+    "NicParams",
+    "NicStats",
+    "Node",
+    "Opcode",
+    "ProtectionError",
+    "QpError",
+    "QpState",
+    "QueuePair",
+    "RecvWqe",
+    "Transport",
+    "VerbError",
+    "WireParams",
+    "WorkRequest",
+    "max_message_size",
+    "post_cas",
+    "post_fetch_add",
+    "post_read",
+    "post_recv",
+    "post_send",
+    "post_write",
+    "supports",
+]

@@ -1,0 +1,72 @@
+"""Completion queues.
+
+Verbs that complete push a :class:`Completion` into a CQ.  Applications
+either poll non-blockingly (``poll``, the ``ibv_poll_cq`` analogue — the
+mode whose CPU cost makes UD clients expensive in the paper's Figure 8) or,
+inside simulation processes, wait on ``get_event()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.engine import Event, Simulator
+from ..sim.resources import Store
+from .types import Opcode
+
+__all__ = ["Completion", "CompletionQueue"]
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One completion-queue entry."""
+
+    wr_id: int
+    opcode: Opcode
+    qp_num: int
+    byte_len: int = 0
+    imm_data: Optional[int] = None
+    payload: object = None
+    timestamp_ns: int = 0
+    status: str = "success"
+    #: Receive completions: the buffer address the payload landed at.
+    addr: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "success"
+
+
+class CompletionQueue:
+    """A FIFO of completions with both polling and event interfaces."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._store = Store(sim, name=name)
+        self.pushed = 0
+        self.polled = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def push(self, completion: Completion) -> None:
+        """Deposit a completion (called by the verb layer)."""
+        self.pushed += 1
+        self._store.put(completion)
+
+    def poll(self, max_entries: int = 16) -> list[Completion]:
+        """Non-blocking poll of up to ``max_entries`` completions."""
+        out: list[Completion] = []
+        while len(out) < max_entries:
+            ok, item = self._store.try_get()
+            if not ok:
+                break
+            out.append(item)
+        self.polled += len(out)
+        return out
+
+    def get_event(self) -> Event:
+        """Event triggering with the next completion (for sim processes)."""
+        return self._store.get()

@@ -1,0 +1,86 @@
+"""The switched fabric connecting nodes.
+
+Models the paper's Mellanox SX-1012 (56 Gbps FDR InfiniBand) as a
+non-blocking switch: every transfer costs a fixed one-way latency plus
+payload serialization at link bandwidth.  Port contention is not modelled —
+the scalability effects under study live in the end hosts, and the paper's
+switch is non-blocking at the offered loads.
+
+``WireParams.loss_rate`` injects packet loss for *unreliable* transports
+(UC/UD) — RC retransmits in hardware and never loses data, which is the
+reliability half of the paper's Table 1 and a reason ScaleRPC insists on
+RC for file-system payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..sim.engine import Simulator
+from ..sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+__all__ = ["WireParams", "Fabric"]
+
+
+@dataclass
+class WireParams:
+    """Link timing: 56 Gbps FDR is ~7 bytes/ns on the wire."""
+
+    latency_ns: int = 900
+    bandwidth_bytes_per_ns: float = 7.0
+    #: Probability that a packet on an *unreliable* transport is lost.
+    loss_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.latency_ns < 0:
+            raise ValueError("latency_ns must be non-negative")
+        if self.bandwidth_bytes_per_ns <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+
+class Fabric:
+    """A non-blocking switch joining all attached nodes."""
+
+    def __init__(self, sim: Simulator, params: WireParams | None = None,
+                 tracer: Tracer | None = None, seed: int = 0):
+        self.sim = sim
+        self.params = params or WireParams()
+        self.nodes: list["Node"] = []
+        self._loss_rng = __import__("random").Random(seed ^ 0x10552)
+        #: Packets dropped on unreliable transports.
+        self.packets_lost = 0
+        #: Optional verb-level tracer (disabled by default); the verb
+        #: layer emits one record per verb when enabled.
+        self.tracer = tracer or Tracer(enabled=False)
+
+    def trace(self, source: str, event: str, detail=None) -> None:
+        """Emit a trace record (no-op while the tracer is disabled)."""
+        self.tracer.emit(self.sim.now, source, event, detail)
+
+    def attach(self, node: "Node") -> None:
+        """Connect ``node`` to the switch."""
+        if node in self.nodes:
+            raise ValueError(f"node {node.name} already attached")
+        self.nodes.append(node)
+
+    def drops_packet(self, reliable: bool) -> bool:
+        """Loss decision for one packet; reliable transports never lose
+        (RC retransmission is hardware, off the model's fast path)."""
+        if reliable or self.params.loss_rate == 0.0:
+            return False
+        if self._loss_rng.random() < self.params.loss_rate:
+            self.packets_lost += 1
+            return True
+        return False
+
+    def transfer_ns(self, size: int) -> int:
+        """One-way transfer time for ``size`` payload bytes."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return self.params.latency_ns + int(size / self.params.bandwidth_bytes_per_ns)

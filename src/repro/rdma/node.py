@@ -1,0 +1,121 @@
+"""A server node: CPU cores, memory, LLC, PCIe counters, and a NIC.
+
+Nodes also carry the simulation's *object memory*: payloads travel as
+Python objects stored at integer addresses, so systems built on the fabric
+(message pools, key-value stores) are functionally real while the cache
+models account for the same addresses at byte granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..memsys.llc import LastLevelCache, LlcParams
+from ..memsys.memory import MemoryRange, PhysicalMemory
+from ..memsys.pcie import PcieCounters
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+from .fabric import Fabric
+from .mr import Access, MemoryRegion, MrTable
+from .nic import Nic
+from .qp import QueuePair
+from .types import NicParams, Transport
+
+__all__ = ["InboundWrite", "Node"]
+
+
+@dataclass(frozen=True)
+class InboundWrite:
+    """Notification passed to write watchers when a DMA write lands."""
+
+    addr: int
+    size: int
+    payload: Any
+    imm_data: Optional[int]
+    src_qp_num: int
+    time_ns: int
+
+
+class Node:
+    """One machine attached to the fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        fabric: Fabric,
+        cores: int = 24,
+        nic_params: Optional[NicParams] = None,
+        llc_params: Optional[LlcParams] = None,
+        memory_bytes: int = 128 * 1024 * 1024 * 1024,
+    ):
+        self.sim = sim
+        self.name = name
+        self.fabric = fabric
+        self.cores = cores
+        self.counters = PcieCounters()
+        self.llc = LastLevelCache(llc_params, self.counters)
+        self.nic = Nic(sim, f"{name}.nic", nic_params, self.llc, self.counters)
+        self.memory = PhysicalMemory(memory_bytes)
+        self.mr_table = MrTable()
+        self.cpu = Resource(sim, capacity=cores, name=f"{name}.cpu")
+        self.qps: list[QueuePair] = []
+        self._object_memory: dict[int, Any] = {}
+        self._write_watchers: list[tuple[MemoryRange, Callable[[InboundWrite], None]]] = []
+        fabric.attach(self)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name}>"
+
+    # -- memory ------------------------------------------------------------
+
+    def register_memory(
+        self,
+        size: int,
+        access: Access = Access.all_remote(),
+        huge_pages: bool = True,
+    ) -> MemoryRegion:
+        """Allocate and register a fresh region (mmap + ibv_reg_mr)."""
+        if huge_pages:
+            memory_range = self.memory.allocate_huge_pages(size)
+        else:
+            memory_range = self.memory.allocate(size)
+        return self.mr_table.register(memory_range, access)
+
+    def store(self, addr: int, value: Any) -> None:
+        """Write ``value`` into object memory at ``addr``."""
+        self._object_memory[addr] = value
+
+    def load(self, addr: int, default: Any = None) -> Any:
+        """Read the object stored at ``addr`` (``default`` when unset)."""
+        return self._object_memory.get(addr, default)
+
+    # -- queue pairs ---------------------------------------------------------
+
+    def create_qp(self, transport: Transport, **kwargs) -> QueuePair:
+        """Create a queue pair on this node."""
+        qp = QueuePair(self, transport, **kwargs)
+        self.qps.append(qp)
+        return qp
+
+    # -- inbound write delivery ----------------------------------------------
+
+    def watch_writes(
+        self, memory_range: MemoryRange, callback: Callable[[InboundWrite], None]
+    ) -> None:
+        """Invoke ``callback`` whenever a DMA write lands in ``memory_range``.
+
+        This is the simulation's stand-in for the application's polling loop
+        discovering a new message; the *cost* of discovery (LLC access to
+        the written lines) is still charged by the reader.
+        """
+        self._write_watchers.append((memory_range, callback))
+
+    def deliver_write(self, event: InboundWrite) -> None:
+        """Store the payload and notify watchers (called by the verb layer)."""
+        if event.payload is not None:
+            self._object_memory[event.addr] = event.payload
+        for memory_range, callback in self._write_watchers:
+            if memory_range.contains(event.addr):
+                callback(event)

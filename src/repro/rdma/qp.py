@@ -1,0 +1,138 @@
+"""Queue pairs.
+
+A QP is the unit of NIC connection state: for connected transports (RC/UC)
+one QP per peer, which is precisely what overflows the NIC cache at scale;
+for UD a single QP converses with any peer via address handles — the
+property FaSST exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .cq import CompletionQueue
+from .types import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+__all__ = ["QpState", "QpError", "QueuePair", "AddressHandle", "RecvWqe"]
+
+
+class QpError(RuntimeError):
+    """Raised on illegal QP usage (bad state, wrong transport, ...)."""
+
+
+class QpState(enum.Enum):
+    """Lifecycle states (the useful subset of the verbs state machine)."""
+
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  # ready to receive
+    RTS = "RTS"  # ready to send
+    ERROR = "ERROR"
+
+
+@dataclass(frozen=True)
+class AddressHandle:
+    """Datagram destination: a (node, qp number) pair for UD sends."""
+
+    node: "Node"
+    qp_num: int
+
+
+@dataclass
+class RecvWqe:
+    """A posted receive buffer awaiting an incoming send."""
+
+    wr_id: int
+    addr: int
+    length: int
+
+
+_qp_numbers = itertools.count(1)
+
+
+class QueuePair:
+    """One queue pair on a node.
+
+    Connected transports must be ``connect()``-ed to a peer QP before
+    sending; UD QPs go to RTS immediately and address sends explicitly.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        transport: Transport,
+        send_cq: Optional[CompletionQueue] = None,
+        recv_cq: Optional[CompletionQueue] = None,
+        max_send_wr: int = 128,
+        max_recv_wr: int = 1024,
+    ):
+        self.node = node
+        self.transport = transport
+        self.qp_num = next(_qp_numbers)
+        # Explicit None checks: an empty CompletionQueue is falsy (__len__).
+        if send_cq is None:
+            send_cq = CompletionQueue(node.sim, name=f"qp{self.qp_num}.scq")
+        if recv_cq is None:
+            recv_cq = CompletionQueue(node.sim, name=f"qp{self.qp_num}.rcq")
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        self.recv_queue: deque[RecvWqe] = deque()
+        self.peer: Optional["QueuePair"] = None
+        self.state = QpState.RTS if transport is Transport.UD else QpState.INIT
+        # Book-keeping used by experiments.
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.rnr_drops = 0
+
+    def __repr__(self) -> str:
+        peer = self.peer.qp_num if self.peer else None
+        return f"<QP {self.qp_num} {self.transport.value} on {self.node.name} peer={peer}>"
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state is QpState.RTS
+
+    def connect(self, peer: "QueuePair") -> None:
+        """Connect two RC/UC QPs (both transition to RTS)."""
+        if self.transport is Transport.UD:
+            raise QpError("UD queue pairs are connectionless")
+        if peer.transport is not self.transport:
+            raise QpError(
+                f"transport mismatch: {self.transport.value} vs {peer.transport.value}"
+            )
+        if self.peer is not None or peer.peer is not None:
+            raise QpError("queue pair already connected")
+        if peer.node is self.node:
+            raise QpError("cannot connect a queue pair to its own node")
+        self.peer = peer
+        peer.peer = self
+        self.state = QpState.RTS
+        peer.state = QpState.RTS
+
+    def address_handle(self) -> AddressHandle:
+        """An address handle peers can use to UD-send to this QP."""
+        if self.transport is not Transport.UD:
+            raise QpError("address handles are a UD concept")
+        return AddressHandle(self.node, self.qp_num)
+
+    def post_recv_wqe(self, wqe: RecvWqe) -> None:
+        """Queue a receive buffer (``ibv_post_recv``)."""
+        if len(self.recv_queue) >= self.max_recv_wr:
+            raise QpError(f"receive queue full on QP {self.qp_num}")
+        self.recv_queue.append(wqe)
+        self.recvs_posted += 1
+
+    def consume_recv_wqe(self) -> Optional[RecvWqe]:
+        """Pop the next receive buffer, or None when the RQ is empty."""
+        if not self.recv_queue:
+            return None
+        return self.recv_queue.popleft()

@@ -1,0 +1,391 @@
+"""The verb layer: post_send / post_recv / write / read / atomics.
+
+Each ``post_*`` call validates the request against the Table-1 capability
+matrix and the target's memory regions, then spawns a simulation process
+that walks the message through the paper's Figure-2 flow:
+
+1. CPU rings the doorbell (MMIO),
+2. sender NIC processes the WQE (connection-cache access, payload DMA read),
+3. the fabric carries the packet,
+4. the receiver NIC deposits the payload (DMA write through the LLC/DDIO),
+5. completion (for RC, after the ACK's return flight).
+
+``post_*`` returns a :class:`WorkRequest` immediately; its ``completion``
+event triggers when the verb finishes, and signaled requests additionally
+push a CQE to the QP's send CQ.  One-sided writes wake any watchers on the
+target range, standing in for the remote CPU's polling loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..sim.engine import Event
+from .cq import Completion
+from .mr import Access
+from .node import InboundWrite
+from .qp import AddressHandle, QpError, QueuePair, RecvWqe
+from .types import Opcode, Transport, max_message_size, supports
+
+__all__ = ["VerbError", "WorkRequest", "post_send", "post_recv", "post_write",
+           "post_read", "post_cas", "post_fetch_add"]
+
+_wr_ids = itertools.count(1)
+
+
+class VerbError(QpError):
+    """Illegal verb: unsupported opcode, oversized message, bad state."""
+
+
+@dataclass
+class WorkRequest:
+    """Handle returned by every ``post_*`` call."""
+
+    wr_id: int
+    opcode: Opcode
+    qp: QueuePair
+    completion: Event = field(repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.completion.triggered
+
+
+def _validate(qp: QueuePair, opcode: Opcode, size: int) -> None:
+    if not qp.is_ready:
+        raise VerbError(f"QP {qp.qp_num} not ready (state {qp.state.value})")
+    if not supports(qp.transport, opcode):
+        raise VerbError(f"{qp.transport.value} does not support {opcode.value}")
+    limit = max_message_size(qp.transport)
+    if size > limit:
+        raise VerbError(
+            f"{size}-byte message exceeds {qp.transport.value} MTU of {limit}"
+        )
+    if size < 0:
+        raise VerbError("negative message size")
+    if qp.transport.is_connected and qp.peer is None:
+        raise VerbError(f"QP {qp.qp_num} is not connected")
+
+
+def _complete(qp: QueuePair, wr: WorkRequest, byte_len: int, signaled: bool,
+              payload: Any = None) -> None:
+    completion = Completion(
+        wr_id=wr.wr_id,
+        opcode=wr.opcode,
+        qp_num=qp.qp_num,
+        byte_len=byte_len,
+        payload=payload,
+        timestamp_ns=qp.node.sim.now,
+    )
+    if signaled:
+        qp.send_cq.push(completion)
+    wr.completion.succeed(completion)
+
+
+def _conn_key(qp: QueuePair) -> Optional[int]:
+    """Connection-cache key: per-QP for connected transports, None for UD
+    (a UD QP's single context stays resident)."""
+    return qp.qp_num if qp.transport.is_connected else None
+
+
+# ---------------------------------------------------------------------------
+# RDMA WRITE (one-sided)
+# ---------------------------------------------------------------------------
+
+def post_write(
+    qp: QueuePair,
+    local_addr: int,
+    remote_addr: int,
+    size: int,
+    payload: Any = None,
+    imm_data: Optional[int] = None,
+    signaled: bool = True,
+    wr_id: Optional[int] = None,
+) -> WorkRequest:
+    """One-sided RDMA write (``write`` or ``write_imm`` when ``imm_data``).
+
+    ``payload`` is the object deposited at ``remote_addr`` in the target's
+    object memory.  ``write_imm`` additionally consumes a receive WQE at the
+    peer and generates a receive completion carrying ``imm_data`` — the
+    mechanism Octopus' self-identified RPC relies on.
+    """
+    opcode = Opcode.WRITE_IMM if imm_data is not None else Opcode.WRITE
+    _validate(qp, opcode, size)
+    peer = qp.peer
+    assert peer is not None  # _validate guarantees this for RC/UC
+    peer.node.mr_table.check(remote_addr, max(size, 1), Access.REMOTE_WRITE)
+    wr = WorkRequest(wr_id if wr_id is not None else next(_wr_ids), opcode, qp,
+                     qp.node.sim.event())
+    qp.sends_posted += 1
+    qp.node.sim.process(
+        _write_flow(qp, wr, local_addr, remote_addr, size, payload, imm_data, signaled),
+        name=f"write.{wr.wr_id}",
+    )
+    return wr
+
+
+def _write_flow(qp, wr, local_addr, remote_addr, size, payload, imm_data, signaled) -> Generator:
+    sim = qp.node.sim
+    fabric = qp.node.fabric
+    peer = qp.peer
+    target = peer.node
+    fabric.trace(qp.node.name, "write" if imm_data is None else "write_imm",
+                 {"to": target.name, "bytes": size, "qp": qp.qp_num})
+    yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
+    yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
+    if fabric.drops_packet(qp.transport.is_reliable):
+        # UC write lost in the fabric: the sender still completes (no acks
+        # on unreliable transports); nothing lands at the target.
+        _complete(qp, wr, size, signaled)
+        return
+    yield sim.timeout(fabric.params.latency_ns)
+    yield from target.nic.rx_write(remote_addr, size)
+    event = InboundWrite(
+        addr=remote_addr, size=size, payload=payload, imm_data=imm_data,
+        src_qp_num=qp.qp_num, time_ns=sim.now,
+    )
+    target.deliver_write(event)
+    if imm_data is not None:
+        wqe = peer.consume_recv_wqe()
+        if wqe is None:
+            peer.rnr_drops += 1
+        else:
+            peer.recv_cq.push(Completion(
+                wr_id=wqe.wr_id, opcode=Opcode.RECV, qp_num=peer.qp_num,
+                byte_len=size, imm_data=imm_data, payload=payload,
+                timestamp_ns=sim.now, addr=remote_addr,
+            ))
+    if qp.transport.is_reliable:
+        yield sim.timeout(fabric.params.latency_ns)  # ACK return flight
+    _complete(qp, wr, size, signaled)
+
+
+# ---------------------------------------------------------------------------
+# SEND / RECV (two-sided)
+# ---------------------------------------------------------------------------
+
+def post_recv(qp: QueuePair, addr: int, size: int, wr_id: Optional[int] = None) -> int:
+    """Post a receive buffer; returns the WR id."""
+    if size <= 0:
+        raise VerbError("receive buffer must have positive size")
+    qp.node.mr_table.check(addr, size, Access.LOCAL_WRITE)
+    rid = wr_id if wr_id is not None else next(_wr_ids)
+    qp.post_recv_wqe(RecvWqe(rid, addr, size))
+    return rid
+
+
+def post_send(
+    qp: QueuePair,
+    size: int,
+    payload: Any = None,
+    local_addr: Optional[int] = None,
+    dest: Optional[AddressHandle] = None,
+    signaled: bool = True,
+    wr_id: Optional[int] = None,
+) -> WorkRequest:
+    """Two-sided send.  UD requires a ``dest`` address handle; connected
+    transports send to their peer QP."""
+    _validate(qp, Opcode.SEND, size)
+    if qp.transport is Transport.UD:
+        if dest is None:
+            raise VerbError("UD send requires a destination address handle")
+        dest_qp = _resolve_ud_destination(dest)
+    else:
+        if dest is not None:
+            raise VerbError("connected transports send only to their peer")
+        dest_qp = qp.peer
+    wr = WorkRequest(wr_id if wr_id is not None else next(_wr_ids), Opcode.SEND, qp,
+                     qp.node.sim.event())
+    qp.sends_posted += 1
+    qp.node.sim.process(
+        _send_flow(qp, wr, dest_qp, size, payload, local_addr, signaled),
+        name=f"send.{wr.wr_id}",
+    )
+    return wr
+
+
+def _resolve_ud_destination(dest: AddressHandle) -> QueuePair:
+    for qp in dest.node.qps:
+        if qp.qp_num == dest.qp_num:
+            if qp.transport is not Transport.UD:
+                raise VerbError("address handle does not reference a UD QP")
+            return qp
+    raise VerbError(f"no QP {dest.qp_num} on node {dest.node.name}")
+
+
+def _send_flow(qp, wr, dest_qp, size, payload, local_addr, signaled) -> Generator:
+    sim = qp.node.sim
+    fabric = qp.node.fabric
+    target = dest_qp.node
+    fabric.trace(qp.node.name, "send",
+                 {"to": target.name, "bytes": size, "qp": qp.qp_num})
+    yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
+    yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
+    if fabric.drops_packet(qp.transport.is_reliable):
+        _complete(qp, wr, size, signaled)
+        return
+    yield sim.timeout(fabric.params.latency_ns)
+    wqe = dest_qp.consume_recv_wqe()
+    if wqe is None:
+        # Receiver not ready.  Unreliable transports drop silently; an RC
+        # responder would RNR-NAK and retry, which our systems never rely
+        # on — surface it as a drop counter either way.
+        dest_qp.rnr_drops += 1
+        yield from target.nic.rx_control()
+    else:
+        if size > wqe.length:
+            raise VerbError(
+                f"{size}-byte send overflows {wqe.length}-byte receive buffer"
+            )
+        yield from target.nic.rx_write(wqe.addr, size)
+        target.deliver_write(InboundWrite(
+            addr=wqe.addr, size=size, payload=payload, imm_data=None,
+            src_qp_num=qp.qp_num, time_ns=sim.now,
+        ))
+        dest_qp.recv_cq.push(Completion(
+            wr_id=wqe.wr_id, opcode=Opcode.RECV, qp_num=dest_qp.qp_num,
+            byte_len=size, payload=payload, timestamp_ns=sim.now,
+            addr=wqe.addr,
+        ))
+    if qp.transport.is_reliable:
+        yield sim.timeout(fabric.params.latency_ns)
+    _complete(qp, wr, size, signaled)
+
+
+# ---------------------------------------------------------------------------
+# RDMA READ (one-sided)
+# ---------------------------------------------------------------------------
+
+#: Wire size of a READ request / atomic request packet (headers only).
+_CONTROL_BYTES = 16
+
+
+def post_read(
+    qp: QueuePair,
+    local_addr: int,
+    remote_addr: int,
+    size: int,
+    signaled: bool = True,
+    wr_id: Optional[int] = None,
+    scatter: Optional[list[tuple[int, int]]] = None,
+) -> WorkRequest:
+    """One-sided RDMA read; the completion's ``payload`` carries the object
+    stored at ``remote_addr`` on the target.
+
+    ``scatter`` optionally lists local ``(addr, size)`` landing segments
+    (scatter-gather DMA); when given it replaces the contiguous landing at
+    ``local_addr`` for cache-accounting purposes.
+    """
+    _validate(qp, Opcode.READ, size)
+    peer = qp.peer
+    assert peer is not None
+    peer.node.mr_table.check(remote_addr, max(size, 1), Access.REMOTE_READ)
+    if scatter is not None:
+        if sum(seg_size for _addr, seg_size in scatter) > size:
+            raise VerbError("scatter segments exceed the read size")
+        for seg_addr, seg_size in scatter:
+            qp.node.mr_table.check(seg_addr, max(seg_size, 1), Access.LOCAL_WRITE)
+    wr = WorkRequest(wr_id if wr_id is not None else next(_wr_ids), Opcode.READ, qp,
+                     qp.node.sim.event())
+    qp.sends_posted += 1
+    qp.node.sim.process(
+        _read_flow(qp, wr, local_addr, remote_addr, size, signaled, scatter),
+        name=f"read.{wr.wr_id}",
+    )
+    return wr
+
+
+def _read_flow(qp, wr, local_addr, remote_addr, size, signaled, scatter=None) -> Generator:
+    sim = qp.node.sim
+    fabric = qp.node.fabric
+    target = qp.peer.node
+    fabric.trace(qp.node.name, "read",
+                 {"from": target.name, "bytes": size, "qp": qp.qp_num})
+    yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
+    yield from qp.node.nic.tx(_conn_key(qp), None, 0)
+    yield sim.timeout(fabric.transfer_ns(_CONTROL_BYTES))
+    yield from target.nic.serve_read(remote_addr, size)
+    yield sim.timeout(fabric.params.latency_ns)
+    if scatter is not None:
+        yield from qp.node.nic.rx_write_scatter(scatter)
+    else:
+        yield from qp.node.nic.rx_write(local_addr, size)
+    payload = target.load(remote_addr)
+    qp.node.store(local_addr, payload)
+    _complete(qp, wr, size, signaled, payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# ATOMICS (RC only)
+# ---------------------------------------------------------------------------
+
+def post_cas(
+    qp: QueuePair,
+    local_addr: int,
+    remote_addr: int,
+    compare: int,
+    swap: int,
+    signaled: bool = True,
+    wr_id: Optional[int] = None,
+) -> WorkRequest:
+    """Atomic compare-and-swap on an 8-byte remote word.  The completion
+    payload is the *old* value (swap succeeded iff old == compare)."""
+    return _post_atomic(qp, local_addr, remote_addr, ("cas", compare, swap),
+                        signaled, wr_id)
+
+
+def post_fetch_add(
+    qp: QueuePair,
+    local_addr: int,
+    remote_addr: int,
+    delta: int,
+    signaled: bool = True,
+    wr_id: Optional[int] = None,
+) -> WorkRequest:
+    """Atomic fetch-and-add on an 8-byte remote word; payload = old value."""
+    return _post_atomic(qp, local_addr, remote_addr, ("fadd", delta, 0),
+                        signaled, wr_id)
+
+
+def _post_atomic(qp, local_addr, remote_addr, op, signaled, wr_id) -> WorkRequest:
+    _validate(qp, Opcode.ATOMIC, 8)
+    peer = qp.peer
+    assert peer is not None
+    peer.node.mr_table.check(remote_addr, 8, Access.REMOTE_ATOMIC)
+    wr = WorkRequest(wr_id if wr_id is not None else next(_wr_ids), Opcode.ATOMIC, qp,
+                     qp.node.sim.event())
+    qp.sends_posted += 1
+    qp.node.sim.process(
+        _atomic_flow(qp, wr, local_addr, remote_addr, op, signaled),
+        name=f"atomic.{wr.wr_id}",
+    )
+    return wr
+
+
+def _atomic_flow(qp, wr, local_addr, remote_addr, op, signaled) -> Generator:
+    sim = qp.node.sim
+    fabric = qp.node.fabric
+    target = qp.peer.node
+    fabric.trace(qp.node.name, "atomic",
+                 {"on": target.name, "op": op[0], "qp": qp.qp_num})
+    yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
+    yield from qp.node.nic.tx(_conn_key(qp), None, 0)
+    yield sim.timeout(fabric.transfer_ns(_CONTROL_BYTES))
+    # The target NIC executes the atomic against memory; this is the
+    # serialization point, so it happens inside the pipeline hold.
+    yield from target.nic.rx_control()
+    kind, a, b = op
+    old = target.load(remote_addr, 0)
+    if not isinstance(old, int):
+        raise VerbError(f"atomic on non-integer word at {remote_addr:#x}")
+    if kind == "cas":
+        if old == a:
+            target.store(remote_addr, b)
+    else:  # fadd
+        target.store(remote_addr, old + a)
+    yield sim.timeout(fabric.transfer_ns(8))
+    yield from qp.node.nic.rx_write(local_addr, 8)
+    qp.node.store(local_addr, old)
+    _complete(qp, wr, 8, signaled, payload=old)

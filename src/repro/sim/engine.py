@@ -1,0 +1,362 @@
+"""Discrete-event simulation kernel.
+
+A lean, deterministic event-driven simulator in the style of SimPy:
+*processes* are Python generators that ``yield`` :class:`Event` objects and
+are resumed when those events trigger.  Simulated time is an integer number
+of nanoseconds; the kernel never consults the wall clock, so runs are fully
+reproducible.
+
+The kernel is deliberately small: events, timeouts, processes, and a
+scheduler.  Resources and stores build on top of it in
+:mod:`repro.sim.resources`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(10)
+...     return sim.now
+>>> proc = sim.process(hello(sim))
+>>> sim.run()
+>>> proc.value
+10
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "SimulationError",
+    "Interrupt",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled for callback delivery
+_PROCESSED = 2  # callbacks delivered
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, after which all registered callbacks run at the current
+    simulated time.  Triggering twice is an error.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been delivered."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if self._state == _PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError("event triggered twice")
+        self._state = _TRIGGERED
+        self._value = value
+        self._ok = True
+        self.sim._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if self._state != _PENDING:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = _TRIGGERED
+        self._value = exception
+        self._ok = False
+        self.sim._post(self)
+        return self
+
+    def _deliver(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event already fired, the callback runs immediately.
+        """
+        if self._state == _PROCESSED:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        # Stays pending until the scheduler delivers it at now + delay.
+        self._value = value
+        sim._schedule(sim.now + delay, self)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that triggers when
+    the generator returns (value = the ``return`` value) or raises.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError("process requires a generator")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time.
+        bootstrap = Event(sim)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op.
+        """
+        if not self.is_alive:
+            return
+        interrupter = Event(self.sim)
+        interrupter.fail(Interrupt(cause))
+        interrupter.add_callback(self._resume)
+
+    def _resume(self, trigger: Event) -> None:
+        if not self.is_alive:
+            return  # already finished (e.g. interrupted then completed)
+        # Detach from whatever we were waiting on; stale triggers for an
+        # interrupted process are filtered by identity.
+        waiting_on = self._waiting_on
+        if waiting_on is not None and trigger is not waiting_on:
+            if not isinstance(trigger.value, Interrupt):
+                return
+            # fall through: deliver the interrupt even while waiting
+        self._waiting_on = None
+        # Iterative resume loop: yielding an already-processed event (a
+        # ready Store item, a completed handle) continues immediately
+        # without recursing, so long chains of ready events are safe.
+        while True:
+            try:
+                if trigger.ok:
+                    target = self.generator.send(trigger.value)
+                else:
+                    target = self.generator.throw(trigger.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt as exc:
+                self.fail(exc)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                raise
+            if not isinstance(target, Event):
+                self.generator.throw(
+                    SimulationError(f"process yielded non-event: {target!r}")
+                )
+                return
+            if target.processed:
+                trigger = target
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers.
+
+    The value is a dict mapping triggered events to their values.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, _event: Event) -> None:
+        if self.triggered:
+            return
+        done = {e: e.value for e in self.events if e.triggered and e.ok}
+        failed = [e for e in self.events if e.triggered and not e.ok]
+        if failed:
+            self.fail(failed[0].value)
+        elif done:
+            self.succeed(done)
+
+
+class AllOf(Event):
+    """Triggers when all ``events`` have triggered.
+
+    The value is a list of the events' values, in input order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, _event: Event) -> None:
+        if self.triggered:
+            return
+        failed = [e for e in self.events if e.triggered and not e.ok]
+        if failed:
+            self.fail(failed[0].value)
+            return
+        if all(e.triggered for e in self.events):
+            self.succeed([e.value for e in self.events])
+
+
+class Simulator:
+    """The event scheduler.
+
+    Time is an integer (nanoseconds by convention throughout this
+    repository).  Events scheduled at the same instant are delivered in
+    scheduling order (FIFO), which keeps runs deterministic.
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, at: int, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, event))
+
+    def _post(self, event: Event) -> None:
+        """Schedule a just-triggered event's callbacks for *now*."""
+        self._schedule(self.now, event)
+
+    # -- public API -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for all of ``events``."""
+        return AllOf(self, events)
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Deliver the next event's callbacks, advancing time."""
+        at, _seq, event = heapq.heappop(self._queue)
+        if at < self.now:
+            raise SimulationError("time went backwards")
+        self.now = at
+        event._deliver()
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        When ``until`` is given, time is advanced to exactly ``until`` even
+        if no event falls on that instant.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                at = self._queue[0][0]
+                if until is not None and at > until:
+                    break
+                self.step()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False

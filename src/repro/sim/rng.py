@@ -1,0 +1,36 @@
+"""Deterministic random-number streams.
+
+Every stochastic component of the simulation draws from its own named
+substream, derived from a root seed by hashing the stream name.  Adding a
+client or reordering setup code therefore never perturbs the draws seen by
+unrelated components — a property the sensitivity experiments rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit seed for substream ``name`` from ``root_seed``."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngRegistry:
+    """A factory of named, independent :class:`random.Random` streams."""
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = root_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the RNG for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = rng
+        return rng

@@ -1,0 +1,55 @@
+"""Lightweight event tracing for debugging simulations.
+
+A :class:`Tracer` records ``(time, source, event, detail)`` tuples.  Tracing
+is off by default; experiments enable it selectively because recording every
+verb of a multi-million-op run would dominate memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line."""
+
+    time_ns: int
+    source: str
+    event: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        base = f"[{self.time_ns:>12d} ns] {self.source}: {self.event}"
+        return base if self.detail is None else f"{base} {self.detail}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time_ns: int, source: str, event: str, detail: Any = None) -> None:
+        """Record one entry (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time_ns, source, event, detail))
+
+    def matching(self, event: str) -> Iterator[TraceRecord]:
+        """Iterate records whose event name equals ``event``."""
+        return (r for r in self.records if r.event == event)
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.records.clear()
+        self.dropped = 0

@@ -1,0 +1,69 @@
+"""ScaleTX: distributed transactions co-using ScaleRPC and one-sided verbs."""
+
+from .cluster import (
+    TXN_SYSTEMS,
+    TxnCluster,
+    TxnClusterConfig,
+    build_txn_cluster,
+    shard_of_factory,
+)
+from .coordinator import CoordinatorStats, TxnCoordinator
+from .kv import CommitRecord, ItemRef, KvError, KvStore
+from .objectstore import ObjectStoreConfig, TxnRunResult, populate_object_store, run_object_store
+from .participant import Participant, ParticipantCosts
+from .protocol import (
+    OP_ABORT,
+    OP_COMMIT,
+    OP_EXECUTE,
+    OP_LOG,
+    OP_VALIDATE,
+    AbortRequest,
+    CommitRequest,
+    ExecuteReply,
+    ExecuteRequest,
+    ItemView,
+    LogReply,
+    LogRequest,
+    ValidateReply,
+    ValidateRequest,
+    next_txn_id,
+)
+from .smallbank import SmallBankConfig, populate_smallbank, run_smallbank
+
+__all__ = [
+    "TXN_SYSTEMS",
+    "AbortRequest",
+    "CommitRecord",
+    "CommitRequest",
+    "CoordinatorStats",
+    "ExecuteReply",
+    "ExecuteRequest",
+    "ItemRef",
+    "ItemView",
+    "KvError",
+    "KvStore",
+    "LogReply",
+    "LogRequest",
+    "ObjectStoreConfig",
+    "Participant",
+    "ParticipantCosts",
+    "SmallBankConfig",
+    "TxnCluster",
+    "TxnClusterConfig",
+    "TxnCoordinator",
+    "TxnRunResult",
+    "ValidateReply",
+    "ValidateRequest",
+    "build_txn_cluster",
+    "next_txn_id",
+    "populate_object_store",
+    "populate_smallbank",
+    "run_object_store",
+    "run_smallbank",
+    "shard_of_factory",
+    "OP_ABORT",
+    "OP_COMMIT",
+    "OP_EXECUTE",
+    "OP_LOG",
+    "OP_VALIDATE",
+]

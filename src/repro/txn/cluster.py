@@ -1,0 +1,183 @@
+"""ScaleTX cluster assembly.
+
+Three participants (as in the paper), each running a KV shard behind a
+chosen RPC layer, plus coordinator clients spread over the remaining
+machines.  The five compared systems (paper Section 4.2.1):
+
+- ``scaletx``   — ScaleRPC + one-sided validation/commit (the full design),
+- ``scaletx-o`` — ScaleRPC with the one-sided optimization disabled,
+- ``rawwrite`` / ``herd`` / ``fasst`` — the protocol entirely over the
+  corresponding RPC (no one-sided verbs).
+
+ScaleRPC participants are aligned by the NTP-like
+:class:`~repro.core.sync.GlobalSynchronizer` with static scheduling, so a
+coordinator is in PROCESS state on all shards at once (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..baselines import BaselineConfig, FasstServer, HerdServer, RawWriteServer
+from ..core import GlobalSynchronizer, ScaleRpcConfig, ScaleRpcServer
+from ..rdma import Fabric, Node, Transport
+from ..sim import RngRegistry, Simulator
+from .coordinator import TxnCoordinator
+from .participant import Participant
+
+__all__ = ["TXN_SYSTEMS", "TxnClusterConfig", "TxnCluster", "build_txn_cluster", "shard_of_factory"]
+
+TXN_SYSTEMS = ("scaletx", "scaletx-o", "rawwrite", "herd", "fasst")
+
+
+def shard_of_factory(n_shards: int):
+    """Deterministic key -> shard map; tuple keys shard by their last
+    element so an account's tables co-locate (SmallBank)."""
+
+    def shard_of(key: Hashable) -> int:
+        anchor = key[-1] if isinstance(key, tuple) else key
+        return zlib.crc32(repr(anchor).encode()) % n_shards
+
+    return shard_of
+
+
+@dataclass
+class TxnClusterConfig:
+    """One transactional deployment."""
+
+    system: str = "scaletx"
+    n_coordinators: int = 80
+    # 12-node cluster minus 3 participants: 9 client machines (paper).
+    n_client_machines: int = 9
+    n_participants: int = 3
+    items_per_shard: int = 1 << 16
+    group_size: int = 40
+    time_slice_ns: int = 100_000
+    recv_buf_bytes: int = 1024  # txn messages are larger than 256 B
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.system not in TXN_SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; pick from {TXN_SYSTEMS}")
+        if self.n_participants < 1:
+            raise ValueError("need at least one participant")
+        if self.n_coordinators < 1:
+            raise ValueError("need at least one coordinator")
+
+
+@dataclass
+class TxnCluster:
+    """A built deployment, ready for a workload driver."""
+
+    config: TxnClusterConfig
+    sim: Simulator
+    rng: RngRegistry
+    participants: list[Participant]
+    servers: list
+    coordinators: list[TxnCoordinator]
+    machines: list[Node]
+    shard_of: object
+    synchronizer: Optional[GlobalSynchronizer] = None
+
+    @property
+    def committed(self) -> int:
+        return sum(c.stats.committed for c in self.coordinators)
+
+    @property
+    def aborted(self) -> int:
+        return sum(
+            c.stats.aborted_locks + c.stats.aborted_validation
+            for c in self.coordinators
+        )
+
+
+def build_txn_cluster(config: TxnClusterConfig) -> TxnCluster:
+    """Assemble the simulation: participants, RPC servers, coordinators."""
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    fabric = Fabric(sim)
+    shard_of = shard_of_factory(config.n_participants)
+
+    participants: list[Participant] = []
+    servers = []
+    uses_scalerpc = config.system.startswith("scaletx")
+    for index in range(config.n_participants):
+        node = Node(sim, f"p{index}", fabric)
+        participant = Participant(node, capacity_items=config.items_per_shard)
+        participants.append(participant)
+        if uses_scalerpc:
+            server = ScaleRpcServer(
+                node,
+                participant.handler,
+                config=ScaleRpcConfig(
+                    group_size=config.group_size,
+                    time_slice_ns=config.time_slice_ns,
+                    # Static scheduling keeps group membership identical
+                    # across the synchronized participants.
+                    dynamic_scheduling=False,
+                ),
+                handler_cost_fn=participant.handler_cost_fn,
+                response_bytes=participant.response_bytes_fn,
+            )
+        else:
+            cls = {
+                "rawwrite": RawWriteServer,
+                "herd": HerdServer,
+                "fasst": FasstServer,
+            }[config.system]
+            server = cls(
+                node,
+                participant.handler,
+                config=BaselineConfig(recv_buf_bytes=config.recv_buf_bytes),
+                handler_cost_fn=participant.handler_cost_fn,
+                response_bytes=participant.response_bytes_fn,
+            )
+        servers.append(server)
+
+    machines = [
+        Node(sim, f"m{i}", fabric) for i in range(config.n_client_machines)
+    ]
+    use_one_sided = config.system == "scaletx"
+    coordinators: list[TxnCoordinator] = []
+    for index in range(config.n_coordinators):
+        machine = machines[index % len(machines)]
+        rpcs = [server.connect(machine) for server in servers]
+        for rpc in rpcs:
+            rpc.poll_cost_scale = config.n_participants
+        qps = None
+        if use_one_sided:
+            qps = []
+            for participant in participants:
+                coordinator_qp = machine.create_qp(Transport.RC)
+                participant_qp = participant.node.create_qp(Transport.RC)
+                coordinator_qp.connect(participant_qp)
+                qps.append(coordinator_qp)
+        coordinators.append(
+            TxnCoordinator(
+                machine,
+                rpcs,
+                shard_of,
+                one_sided_qps=qps,
+                use_one_sided=use_one_sided,
+            )
+        )
+
+    synchronizer = None
+    if uses_scalerpc and len(servers) > 1:
+        synchronizer = GlobalSynchronizer(servers)
+        synchronizer.start()
+    for server in servers:
+        server.start()
+    return TxnCluster(
+        config=config,
+        sim=sim,
+        rng=rng,
+        participants=participants,
+        servers=servers,
+        coordinators=coordinators,
+        machines=machines,
+        shard_of=shard_of,
+        synchronizer=synchronizer,
+    )

@@ -1,0 +1,176 @@
+"""MICA-style in-memory key-value store shard.
+
+Each participant owns one shard: a bucketed hash index over fixed-size
+item slots carved from an RDMA-registered region.  Every item carries a
+co-located *version* and *lock* word (paper Section 4.2), laid out so that
+remote one-sided verbs can operate on them directly:
+
+====  ==========  ==========================================
+off   field       remote access
+====  ==========  ==========================================
+0     value       commit: RDMA write
+8     version     validation: RDMA read
+16    lock        commit: zeroed by the same RDMA write
+====  ==========  ==========================================
+
+Because value/version/lock are contiguous, ScaleTX commits an item with a
+*single* RDMA write covering all three fields — the paper's "updates the
+primary key-value items in W by directly using RDMA writes; meanwhile,
+the lock field is released by zeroing".
+
+The item state lives in the node's object memory (the same cells the
+verbs read and write), so one-sided operations and local handler code see
+one consistent store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Optional
+
+from ..rdma.mr import Access, MemoryRegion
+from ..rdma.node import InboundWrite, Node
+
+__all__ = ["ItemRef", "CommitRecord", "KvStore", "KvError"]
+
+ITEM_SLOT_BYTES = 64  # one cacheline per item, MICA-style
+VALUE_OFF = 0
+VERSION_OFF = 8
+LOCK_OFF = 16
+
+
+class KvError(Exception):
+    """Shard-level error (full shard, unknown key, ...)."""
+
+
+@dataclass(frozen=True)
+class ItemRef:
+    """Location of one item; everything a remote coordinator needs."""
+
+    key: Hashable
+    base_addr: int
+
+    @property
+    def value_addr(self) -> int:
+        return self.base_addr + VALUE_OFF
+
+    @property
+    def version_addr(self) -> int:
+        return self.base_addr + VERSION_OFF
+
+    @property
+    def lock_addr(self) -> int:
+        return self.base_addr + LOCK_OFF
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """Payload of a one-sided commit write: value + version, lock zeroed."""
+
+    value: Any
+    version: int
+
+
+class KvStore:
+    """One shard."""
+
+    def __init__(self, node: Node, capacity_items: int = 1 << 16, n_buckets: int = 4096):
+        if capacity_items < 1:
+            raise KvError("capacity must be positive")
+        self.node = node
+        self.capacity_items = capacity_items
+        self.n_buckets = n_buckets
+        self.region: MemoryRegion = node.register_memory(
+            capacity_items * ITEM_SLOT_BYTES, access=Access.all_remote()
+        )
+        self._buckets: list[dict[Hashable, ItemRef]] = [dict() for _ in range(n_buckets)]
+        self._n_items = 0
+        node.watch_writes(self.region.range, self._on_remote_write)
+        # Stats.
+        self.remote_commits = 0
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    # -- index ---------------------------------------------------------------
+
+    def _bucket(self, key: Hashable) -> dict:
+        return self._buckets[hash(key) % self.n_buckets]
+
+    def lookup(self, key: Hashable) -> Optional[ItemRef]:
+        """Find a key's item reference (None when absent)."""
+        return self._bucket(key).get(key)
+
+    def insert(self, key: Hashable, value: Any) -> ItemRef:
+        """Insert a fresh key (version 1, unlocked)."""
+        bucket = self._bucket(key)
+        if key in bucket:
+            raise KvError(f"duplicate key {key!r}")
+        if self._n_items >= self.capacity_items:
+            raise KvError("shard full")
+        base = self.region.range.base + self._n_items * ITEM_SLOT_BYTES
+        ref = ItemRef(key, base)
+        bucket[key] = ref
+        self._n_items += 1
+        self.node.store(ref.value_addr, value)
+        self.node.store(ref.version_addr, 1)
+        self.node.store(ref.lock_addr, 0)
+        return ref
+
+    def keys(self) -> Iterator[Hashable]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    # -- local (handler-side) accessors --------------------------------------
+
+    def read(self, ref: ItemRef) -> tuple[Any, int]:
+        """(value, version) of an item."""
+        return self.node.load(ref.value_addr), self.node.load(ref.version_addr, 0)
+
+    def version(self, ref: ItemRef) -> int:
+        return self.node.load(ref.version_addr, 0)
+
+    def lock_owner(self, ref: ItemRef) -> int:
+        return self.node.load(ref.lock_addr, 0)
+
+    def try_lock(self, ref: ItemRef, txn_id: int) -> bool:
+        """Server-side lock acquisition during the execution phase."""
+        if txn_id == 0:
+            raise KvError("txn_id 0 is the unlocked sentinel")
+        owner = self.node.load(ref.lock_addr, 0)
+        if owner == txn_id:
+            return True  # re-entrant within one transaction
+        if owner != 0:
+            return False
+        self.node.store(ref.lock_addr, txn_id)
+        return True
+
+    def unlock(self, ref: ItemRef, txn_id: int) -> bool:
+        """Release a lock held by ``txn_id``."""
+        if self.node.load(ref.lock_addr, 0) != txn_id:
+            return False
+        self.node.store(ref.lock_addr, 0)
+        return True
+
+    def apply_commit(self, ref: ItemRef, value: Any, version: int) -> None:
+        """Local commit application (the RPC-only ScaleTX-O path)."""
+        self.node.store(ref.value_addr, value)
+        self.node.store(ref.version_addr, version)
+        self.node.store(ref.lock_addr, 0)
+
+    # -- one-sided commit delivery ---------------------------------------------
+
+    def _on_remote_write(self, event: InboundWrite) -> None:
+        """Scatter a one-sided :class:`CommitRecord` into the item fields.
+
+        This is memory semantics, not CPU work: the NIC's DMA write covers
+        value, version, and lock in one go; no handler runs.
+        """
+        record = event.payload
+        if not isinstance(record, CommitRecord):
+            return
+        base = event.addr - VALUE_OFF
+        self.node.store(base + VALUE_OFF, record.value)
+        self.node.store(base + VERSION_OFF, record.version)
+        self.node.store(base + LOCK_OFF, 0)
+        self.remote_commits += 1

@@ -1,0 +1,145 @@
+"""Wire-level message types of the ScaleTX protocol (paper Figure 15).
+
+Phases: Execution (RPC: read values, lock the write set), Validation
+(one-sided reads of read-set versions — or an RPC in the ScaleTX-O
+variant), Log (RPC append at each write primary), Commit (one-sided
+writes — or an RPC in ScaleTX-O), plus Abort (RPC releasing locks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = [
+    "OP_EXECUTE",
+    "OP_VALIDATE",
+    "OP_LOG",
+    "OP_COMMIT",
+    "OP_ABORT",
+    "next_txn_id",
+    "ExecuteRequest",
+    "ItemView",
+    "ExecuteReply",
+    "ValidateRequest",
+    "ValidateReply",
+    "LogRequest",
+    "LogReply",
+    "CommitRequest",
+    "AbortRequest",
+    "request_bytes",
+    "reply_bytes",
+]
+
+OP_EXECUTE = "txn.execute"
+OP_VALIDATE = "txn.validate"
+OP_LOG = "txn.log"
+OP_COMMIT = "txn.commit"
+OP_ABORT = "txn.abort"
+
+_txn_ids = itertools.count(1)
+
+
+def next_txn_id() -> int:
+    return next(_txn_ids)
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """Read R and W; lock W (server-side)."""
+
+    txn_id: int
+    read_keys: tuple
+    write_keys: tuple
+
+
+@dataclass(frozen=True)
+class ItemView:
+    """One item as seen at execution time."""
+
+    key: Hashable
+    value: Any
+    version: int
+    value_addr: int
+    version_addr: int
+
+
+@dataclass(frozen=True)
+class ExecuteReply:
+    ok: bool  # False when a write-set lock was unavailable
+    items: tuple = ()  # ItemView per requested key, reads then writes
+    locked: tuple = ()  # write keys successfully locked (for abort)
+
+
+@dataclass(frozen=True)
+class ValidateRequest:
+    """ScaleTX-O only: re-read read-set versions via RPC."""
+
+    txn_id: int
+    keys: tuple
+
+
+@dataclass(frozen=True)
+class ValidateReply:
+    versions: tuple
+
+
+@dataclass(frozen=True)
+class LogRequest:
+    """Append redo entries at a write primary."""
+
+    txn_id: int
+    writes: tuple  # (key, new_value) pairs
+
+
+@dataclass(frozen=True)
+class LogReply:
+    ok: bool
+
+
+@dataclass(frozen=True)
+class CommitRequest:
+    """ScaleTX-O only: apply the write set and release locks via RPC."""
+
+    txn_id: int
+    writes: tuple  # (key, new_value, new_version)
+
+
+@dataclass(frozen=True)
+class AbortRequest:
+    """Release the locks taken during execution."""
+
+    txn_id: int
+    keys: tuple
+
+
+_KEY_BYTES = 16
+_VALUE_BYTES = 24
+_HEADER = 32
+
+
+def request_bytes(message) -> int:
+    """Wire size of a request payload."""
+    if isinstance(message, ExecuteRequest):
+        return _HEADER + _KEY_BYTES * (len(message.read_keys) + len(message.write_keys))
+    if isinstance(message, ValidateRequest):
+        return _HEADER + _KEY_BYTES * len(message.keys)
+    if isinstance(message, LogRequest):
+        return _HEADER + (_KEY_BYTES + _VALUE_BYTES) * len(message.writes)
+    if isinstance(message, CommitRequest):
+        return _HEADER + (_KEY_BYTES + _VALUE_BYTES + 8) * len(message.writes)
+    if isinstance(message, AbortRequest):
+        return _HEADER + _KEY_BYTES * len(message.keys)
+    raise TypeError(f"not a txn request: {message!r}")
+
+
+def reply_bytes(message) -> int:
+    """Wire size of a reply payload."""
+    if isinstance(message, ExecuteReply):
+        return _HEADER + (_KEY_BYTES + _VALUE_BYTES + 24) * len(message.items)
+    if isinstance(message, ValidateReply):
+        return _HEADER + 8 * len(message.versions)
+    if isinstance(message, (LogReply,)):
+        return _HEADER
+    return _HEADER

@@ -1,0 +1,43 @@
+"""Workload generators and client-behaviour distributions."""
+
+from .distributions import (
+    gaussian_afd_think_time,
+    hotspot_sampler,
+    uniform_think_time,
+    zipf_sampler,
+)
+from .dct import DctInitiator, compare_rc_dct_latency, run_dct_outbound
+from .generators import (
+    RawVerbConfig,
+    RawVerbResult,
+    run_inbound_write,
+    run_outbound_write,
+    run_ud_send,
+)
+from .transfer import (
+    TransferResult,
+    rc_single_write,
+    run_transfer_comparison,
+    ud_ordered_chunks,
+    ud_pipelined_chunks,
+)
+
+__all__ = [
+    "DctInitiator",
+    "RawVerbConfig",
+    "RawVerbResult",
+    "TransferResult",
+    "compare_rc_dct_latency",
+    "rc_single_write",
+    "run_dct_outbound",
+    "run_transfer_comparison",
+    "ud_ordered_chunks",
+    "ud_pipelined_chunks",
+    "gaussian_afd_think_time",
+    "hotspot_sampler",
+    "run_inbound_write",
+    "run_outbound_write",
+    "run_ud_send",
+    "uniform_think_time",
+    "zipf_sampler",
+]

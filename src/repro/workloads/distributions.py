@@ -1,0 +1,103 @@
+"""Client behaviour distributions.
+
+The paper's non-uniform workload (Figure 12) injects a per-client latency
+before each request, drawn from a Gaussian family parameterized by sigma;
+clients therefore have different access frequencies, which is what the
+priority-based scheduler exploits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+__all__ = [
+    "gaussian_afd_think_time",
+    "uniform_think_time",
+    "zipf_sampler",
+    "hotspot_sampler",
+]
+
+ThinkTimeFn = Callable[[int, random.Random], int]
+
+
+def gaussian_afd_think_time(sigma: float, base_ns: int = 4_000) -> ThinkTimeFn:
+    """Per-client think times with a Gaussian access-frequency spread.
+
+    Each client gets a fixed multiplier ``exp(N(0, sigma))`` (log-normal,
+    so latencies stay positive); per-request think time is exponential
+    around the client's mean.  Larger sigma = more imbalanced clients,
+    matching the paper's sigma = 0.8 / 1.0 settings.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    multipliers: dict[int, float] = {}
+
+    def think(client_id: int, rng: random.Random) -> int:
+        factor = multipliers.get(client_id)
+        if factor is None:
+            # Derive the per-client factor from its own stream so it is
+            # stable across calls.
+            seed_rng = random.Random(client_id * 2654435761 % (1 << 31))
+            factor = math.exp(seed_rng.gauss(0.0, sigma))
+            multipliers[client_id] = factor
+        mean = base_ns * factor
+        return max(0, int(rng.expovariate(1.0 / mean))) if mean > 0 else 0
+
+    return think
+
+
+def uniform_think_time(mean_ns: int) -> ThinkTimeFn:
+    """Exponential think time, identical across clients."""
+    if mean_ns < 0:
+        raise ValueError("mean must be non-negative")
+
+    def think(_client_id: int, rng: random.Random) -> int:
+        if mean_ns == 0:
+            return 0
+        return max(0, int(rng.expovariate(1.0 / mean_ns)))
+
+    return think
+
+
+def zipf_sampler(n: int, theta: float = 0.99):
+    """A Zipf(theta) sampler over [0, n) (YCSB-style skew)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0 <= theta < 1:
+        raise ValueError("theta must be in [0, 1)")
+    # Precompute the harmonic normalizer.
+    zetan = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+    alpha = 1.0 / (1.0 - theta)
+    eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - sum(
+        1.0 / (i ** theta) for i in range(1, 3)
+    ) / zetan) if n >= 2 else 1.0
+
+    def sample(rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** theta:
+            return 1
+        return int(n * ((eta * u - eta + 1.0) ** alpha)) % n
+
+    return sample
+
+
+def hotspot_sampler(n: int, hot_fraction: float, hot_probability: float):
+    """SmallBank-style hotspot: ``hot_probability`` of samples land in the
+    first ``hot_fraction`` of the key space."""
+    if not 0 < hot_fraction < 1:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    if not 0 <= hot_probability <= 1:
+        raise ValueError("hot_probability must be in [0, 1]")
+    hot = max(1, int(n * hot_fraction))
+
+    def sample(rng: random.Random) -> int:
+        if rng.random() < hot_probability:
+            return rng.randrange(hot)
+        return hot + rng.randrange(n - hot)
+
+    return sample

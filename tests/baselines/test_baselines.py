@@ -1,0 +1,148 @@
+"""Behavioural tests for the RawWrite, HERD, and FaSST baselines."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineConfig,
+    FasstServer,
+    HerdServer,
+    RawWriteServer,
+)
+from repro.rdma import Fabric, Node, Transport
+from repro.sim import Simulator
+
+SERVERS = {
+    "rawwrite": RawWriteServer,
+    "herd": HerdServer,
+    "fasst": FasstServer,
+}
+
+
+def make(kind, n_clients, n_machines=2, **config_kwargs):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    node = Node(sim, "server", fabric)
+    config = BaselineConfig(
+        block_size=256, blocks_per_client=8, n_server_threads=2, **config_kwargs
+    )
+    server = SERVERS[kind](node, lambda r: ("ok", r.payload), config=config)
+    machines = [Node(sim, f"m{i}", fabric) for i in range(n_machines)]
+    clients = [server.connect(machines[i % n_machines]) for i in range(n_clients)]
+    server.start()
+    return sim, server, clients
+
+
+def drive(sim, clients, batch, n_batches):
+    out = []
+    drivers = []
+
+    def loop(sim, client):
+        for b in range(n_batches):
+            handles = []
+            for i in range(batch):
+                handle = yield from client.async_call("echo", payload=(client.client_id, b, i))
+                handles.append(handle)
+            yield from client.flush()
+            responses = yield from client.poll_completions(handles)
+            for handle, response in zip(handles, responses):
+                out.append((handle, response))
+
+    for client in clients:
+        drivers.append(sim.process(loop(sim, client)))
+    while sim.peek() is not None and sim.now < 500_000_000:
+        if all(d.triggered for d in drivers):
+            break
+        sim.step()
+    return out, drivers
+
+
+class TestAllBaselinesRoundtrip:
+    @pytest.mark.parametrize("kind", list(SERVERS))
+    def test_all_responses_arrive_and_match(self, kind):
+        sim, server, clients = make(kind, n_clients=6)
+        out, drivers = drive(sim, clients, batch=4, n_batches=5)
+        assert all(d.triggered for d in drivers)
+        assert len(out) == 6 * 4 * 5
+        for handle, response in out:
+            assert response.payload == ("ok", handle.request.payload)
+        assert server.stats.completed == len(out)
+
+    @pytest.mark.parametrize("kind", list(SERVERS))
+    def test_latencies_are_positive_and_bounded(self, kind):
+        sim, server, clients = make(kind, n_clients=2)
+        out, _ = drive(sim, clients, batch=1, n_batches=10)
+        for handle, _resp in out:
+            assert handle.latency_ns is not None
+            assert 0 < handle.latency_ns < 1_000_000
+
+
+class TestTransportChoices:
+    def test_rawwrite_uses_rc_both_ways(self):
+        sim, server, clients = make("rawwrite", n_clients=2)
+        assert all(qp.transport is Transport.RC for qp in server.node.qps)
+
+    def test_herd_uses_uc_requests_and_ud_responses(self):
+        sim, server, clients = make("herd", n_clients=2)
+        transports = {qp.transport for qp in server.node.qps}
+        assert transports == {Transport.UC, Transport.UD}
+
+    def test_fasst_is_ud_only_with_thread_count_qps(self):
+        sim, server, clients = make("fasst", n_clients=5)
+        server_qps = server.node.qps
+        assert all(qp.transport is Transport.UD for qp in server_qps)
+        # One QP per worker thread, independent of the 5 clients.
+        assert len(server_qps) == server.config.n_server_threads
+
+    def test_fasst_has_no_per_client_server_buffers(self):
+        sim, server, clients = make("fasst", n_clients=4)
+        assert all(b.request_region is None for b in server.bindings.values())
+
+    def test_rawwrite_server_memory_grows_with_clients(self):
+        _, few, _ = make("rawwrite", n_clients=2)
+        _, many, _ = make("rawwrite", n_clients=8)
+        region_count = lambda srv: len(srv.node.mr_table)
+        assert region_count(many) > region_count(few)
+
+
+class TestClientCosts:
+    def test_ud_clients_pay_more_cpu(self):
+        _, _, raw_clients = make("rawwrite", n_clients=1)
+        _, _, fasst_clients = make("fasst", n_clients=1)
+        assert fasst_clients[0]._post_ns > raw_clients[0]._post_ns
+        assert fasst_clients[0]._poll_ns > raw_clients[0]._poll_ns
+
+    def test_uses_cq_polling_flags(self):
+        _, _, raw = make("rawwrite", n_clients=1)
+        _, _, herd = make("herd", n_clients=1)
+        _, _, fasst = make("fasst", n_clients=1)
+        assert not raw[0].uses_cq_polling
+        assert herd[0].uses_cq_polling
+        assert fasst[0].uses_cq_polling
+
+
+class TestServerConnCacheBehaviour:
+    def test_rawwrite_outbound_touches_conn_cache(self):
+        sim, server, clients = make("rawwrite", n_clients=4)
+        drive(sim, clients, batch=2, n_batches=5)
+        assert server.node.nic.stats.conn_hits + server.node.nic.stats.conn_misses > 0
+
+    @pytest.mark.parametrize("kind", ["herd", "fasst"])
+    def test_ud_responses_skip_conn_cache(self, kind):
+        sim, server, clients = make(kind, n_clients=4)
+        drive(sim, clients, batch=2, n_batches=5)
+        # Responses are UD sends: the server NIC never keys per-connection.
+        assert server.node.nic.stats.conn_hits == 0
+        assert server.node.nic.stats.conn_misses == 0
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(block_size=32)
+        with pytest.raises(ValueError):
+            BaselineConfig(recv_depth=0)
+
+    def test_double_start_rejected(self):
+        sim, server, clients = make("rawwrite", n_clients=1)
+        with pytest.raises(RuntimeError):
+            server.start()

@@ -1,0 +1,74 @@
+"""Transport reliability at the RPC level under injected fabric loss.
+
+The paper's case for RC (Section 5.2): reliable delivery matters to the
+systems above.  Under loss, ScaleRPC/RawWrite (RC) complete every call;
+HERD rides UC/UD and silently loses requests or responses.
+"""
+
+from repro.baselines import BaselineConfig, HerdServer, RawWriteServer
+from repro.core import ScaleRpcConfig, ScaleRpcServer
+from repro.rdma import Fabric, Node, WireParams
+from repro.sim import Simulator
+
+
+def build(kind, loss):
+    sim = Simulator()
+    fabric = Fabric(sim, WireParams(loss_rate=loss), seed=3)
+    node = Node(sim, "server", fabric)
+    if kind == "scalerpc":
+        server = ScaleRpcServer(
+            node, lambda r: r.payload,
+            config=ScaleRpcConfig(group_size=4, time_slice_ns=50_000),
+        )
+    else:
+        cls = {"rawwrite": RawWriteServer, "herd": HerdServer}[kind]
+        server = cls(node, lambda r: r.payload, config=BaselineConfig())
+    machines = [Node(sim, f"m{i}", fabric) for i in range(2)]
+    clients = [server.connect(machines[i % 2]) for i in range(4)]
+    server.start()
+    return sim, fabric, server, clients
+
+
+def drive(sim, clients, n_calls, cap_ns=80_000_000):
+    completed = []
+    drivers = []
+
+    def loop(sim, client):
+        for i in range(n_calls):
+            handle = yield from client.async_call("echo", payload=i)
+            yield from client.flush()
+            yield from client.poll_completions([handle])
+            completed.append((client.client_id, i))
+
+    for client in clients:
+        drivers.append(sim.process(loop(sim, client)))
+    while sim.peek() is not None and sim.now < cap_ns:
+        if all(d.triggered for d in drivers):
+            break
+        sim.step()
+    return completed, drivers
+
+
+class TestReliability:
+    def test_rc_rpcs_survive_loss(self):
+        for kind in ("scalerpc", "rawwrite"):
+            sim, fabric, server, clients = build(kind, loss=0.2)
+            completed, drivers = drive(sim, clients, n_calls=20)
+            assert all(d.triggered for d in drivers), kind
+            assert len(completed) == 4 * 20
+            # RC never exercises the loss path.
+            assert fabric.packets_lost == 0
+
+    def test_herd_loses_calls_under_loss(self):
+        sim, fabric, server, clients = build("herd", loss=0.2)
+        completed, drivers = drive(sim, clients, n_calls=20)
+        # Some UC requests / UD responses vanished: calls hang forever.
+        assert fabric.packets_lost > 0
+        assert len(completed) < 4 * 20
+        assert not all(d.triggered for d in drivers)
+
+    def test_herd_is_fine_without_loss(self):
+        sim, fabric, server, clients = build("herd", loss=0.0)
+        completed, drivers = drive(sim, clients, n_calls=20)
+        assert all(d.triggered for d in drivers)
+        assert len(completed) == 4 * 20

@@ -1,0 +1,95 @@
+"""Tests for the RPC experiment harness."""
+
+import pytest
+
+from repro.bench import RpcExperiment, run_rpc_experiment
+
+
+class TestExperimentValidation:
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            RpcExperiment(system="tcp")
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            RpcExperiment(n_clients=0)
+        with pytest.raises(ValueError):
+            RpcExperiment(batch_size=0)
+        with pytest.raises(ValueError):
+            RpcExperiment(n_client_machines=0)
+
+
+class TestSmallRuns:
+    def _run(self, **kwargs):
+        defaults = dict(
+            n_clients=8,
+            n_client_machines=2,
+            warmup_ns=200_000,
+            measure_ns=400_000,
+            group_size=8,
+            time_slice_ns=50_000,
+        )
+        defaults.update(kwargs)
+        return run_rpc_experiment(RpcExperiment(**defaults))
+
+    @pytest.mark.parametrize("system", ["scalerpc", "rawwrite", "herd", "fasst"])
+    def test_each_system_produces_throughput(self, system):
+        result = self._run(system=system)
+        assert result.throughput_mops > 0.1
+        assert result.completed_ops > 0
+        assert result.latency.median_ns > 0
+
+    def test_deterministic_given_seed(self):
+        a = self._run(system="scalerpc", seed=7)
+        b = self._run(system="scalerpc", seed=7)
+        assert a.throughput_mops == b.throughput_mops
+        assert a.latency.median_ns == b.latency.median_ns
+
+    def test_batching_increases_throughput_under_light_load(self):
+        small = self._run(system="rawwrite", batch_size=1)
+        large = self._run(system="rawwrite", batch_size=8)
+        assert large.throughput_mops > small.throughput_mops
+
+    def test_think_time_reduces_throughput(self):
+        busy = self._run(system="rawwrite")
+        idle = self._run(
+            system="rawwrite",
+            think_time_fn=lambda _cid, _rng: 50_000,
+        )
+        assert idle.throughput_mops < 0.7 * busy.throughput_mops
+
+    def test_handler_cost_reduces_throughput(self):
+        cheap = self._run(system="rawwrite", n_clients=16)
+        costly = self._run(system="rawwrite", n_clients=16, handler_cost_ns=20_000)
+        assert costly.throughput_mops < cheap.throughput_mops
+
+    def test_counters_are_collected(self):
+        result = self._run(system="rawwrite")
+        assert result.counters.window_ns > 0
+        # Every request write is at least one ItoM/RFO at the server.
+        assert (
+            result.counters.itom_per_s + result.counters.rfo_per_s > 0
+        )
+
+    def test_adaptive_window_reports_actual_span(self):
+        result = self._run(system="scalerpc")
+        assert result.window_ns >= 400_000
+
+
+class TestMultiSeed:
+    def test_multi_seed_runs_and_aggregates(self):
+        from repro.bench import MultiSeedResult, RpcExperiment, run_multi_seed
+
+        experiment = RpcExperiment(
+            system="rawwrite",
+            n_clients=6,
+            n_client_machines=2,
+            warmup_ns=150_000,
+            measure_ns=300_000,
+        )
+        result = run_multi_seed(experiment, seeds=(1, 2))
+        assert len(result.results) == 2
+        assert result.mean_mops > 0
+        assert result.spread_mops >= 0
+        assert result.results[0].experiment.seed == 1
+        assert result.results[1].experiment.seed == 2

@@ -1,0 +1,79 @@
+"""Tests for the measurement utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import LatencyRecorder, throughput_mops
+
+
+class TestLatencyRecorder:
+    def test_empty_stats_raise(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().stats()
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(50)
+        with pytest.raises(ValueError):
+            LatencyRecorder().cdf()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_stats_values(self):
+        recorder = LatencyRecorder()
+        recorder.extend([1000, 2000, 3000, 4000, 100000])
+        stats = recorder.stats()
+        assert stats.count == 5
+        assert stats.median_ns == 3000
+        assert stats.max_ns == 100000
+        assert stats.mean_ns == pytest.approx(22000)
+
+    def test_as_us(self):
+        recorder = LatencyRecorder()
+        recorder.extend([2000, 4000])
+        us = recorder.stats().as_us()
+        assert us["median_us"] == pytest.approx(3.0)
+        assert us["max_us"] == pytest.approx(4.0)
+
+    def test_percentile(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(0, 101))
+        assert recorder.percentile(50) == pytest.approx(50)
+        assert recorder.percentile(99) == pytest.approx(99)
+
+    def test_cdf_monotone(self):
+        recorder = LatencyRecorder()
+        recorder.extend([5000, 1000, 3000, 2000, 4000])
+        points = recorder.cdf(points=10)
+        latencies = [p[0] for p in points]
+        fractions = [p[1] for p in points]
+        assert latencies == sorted(latencies)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_clear(self):
+        recorder = LatencyRecorder()
+        recorder.record(1)
+        recorder.clear()
+        assert len(recorder) == 0
+
+    @given(samples=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_stats_bounds(self, samples):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        stats = recorder.stats()
+        assert min(samples) <= stats.median_ns <= max(samples)
+        assert stats.max_ns == max(samples)
+        assert min(samples) <= stats.mean_ns <= max(samples)
+
+
+class TestThroughput:
+    def test_mops(self):
+        assert throughput_mops(2_000_000, 1_000_000_000) == pytest.approx(2.0)
+        assert throughput_mops(500, 1_000_000) == pytest.approx(0.5)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_mops(1, 0)

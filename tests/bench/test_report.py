@@ -1,0 +1,56 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.bench import FigureResult
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        figure="Figure X",
+        title="A test figure",
+        x_label="clients",
+        x_values=(40, 120),
+        series={"scalerpc": [10.0, 9.5], "rawwrite": [13.0, 3.5]},
+        notes=["a note"],
+    )
+
+
+class TestFigureResult:
+    def test_value_lookup(self, result):
+        assert result.value("scalerpc", 120) == 9.5
+        assert result.value("rawwrite", 40) == 13.0
+
+    def test_value_unknown_x(self, result):
+        with pytest.raises(ValueError):
+            result.value("scalerpc", 999)
+
+    def test_render_contains_everything(self, result):
+        text = result.render()
+        assert "Figure X" in text
+        assert "scalerpc" in text
+        assert "13.00" in text
+        assert "a note" in text
+        assert "clients" in text
+
+    def test_render_aligned_rows(self, result):
+        lines = result.render().splitlines()
+        rows = [l for l in lines if "|" in l]
+        pipe_columns = {l.index("|") for l in rows}
+        assert len(pipe_columns) == 1, "rows must align on the separator"
+
+    def test_str_is_render(self, result):
+        assert str(result) == result.render()
+
+
+class TestJsonExport:
+    def test_as_dict_round_trips(self, result):
+        import json
+
+        data = result.as_dict()
+        text = json.dumps(data)
+        loaded = json.loads(text)
+        assert loaded["figure"] == "Figure X"
+        assert loaded["series"]["scalerpc"] == [10.0, 9.5]
+        assert loaded["x_values"] == [40, 120]

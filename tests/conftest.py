@@ -1,0 +1,12 @@
+"""Repository-wide pytest configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests drive whole simulations; wall-clock deadlines would flake
+# on slow machines without telling us anything about correctness.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,94 @@
+"""Shared fixtures and drivers for ScaleRPC core tests."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core import ScaleRpcConfig, ScaleRpcServer
+from repro.rdma import Fabric, Node
+from repro.sim import Simulator
+
+
+@dataclass
+class Cluster:
+    """A ScaleRPC deployment for tests."""
+
+    sim: Simulator
+    fabric: Fabric
+    server: ScaleRpcServer
+    clients: list = field(default_factory=list)
+    machines: list = field(default_factory=list)
+
+
+def echo_handler(request):
+    """Default handler: return the request payload."""
+    return request.payload
+
+
+def make_cluster(
+    n_clients: int,
+    config: ScaleRpcConfig = None,
+    handler=echo_handler,
+    handler_cost_fn=None,
+    n_machines: int = 2,
+    start: bool = True,
+) -> Cluster:
+    """Build one server plus ``n_clients`` spread over ``n_machines``."""
+    sim = Simulator()
+    fabric = Fabric(sim)
+    server_node = Node(sim, "server", fabric)
+    server = ScaleRpcServer(
+        server_node,
+        handler,
+        config=config or ScaleRpcConfig(),
+        handler_cost_fn=handler_cost_fn,
+    )
+    machines = [Node(sim, f"m{i}", fabric) for i in range(n_machines)]
+    clients = [server.connect(machines[i % n_machines]) for i in range(n_clients)]
+    if start:
+        server.start()
+    return Cluster(sim, fabric, server, clients, machines)
+
+
+def closed_loop(cluster: Cluster, client, batch: int, n_batches: int, out: list):
+    """A closed-loop driver: post a batch, wait for all responses, repeat.
+
+    Appends (request, response) pairs to ``out``.
+    """
+
+    def loop(sim):
+        for batch_no in range(n_batches):
+            handles = []
+            for i in range(batch):
+                handle = yield from client.async_call(
+                    "echo", payload=(client.client_id, batch_no, i)
+                )
+                handles.append(handle)
+            yield from client.flush()
+            responses = yield from client.poll_completions(handles)
+            for handle, response in zip(handles, responses):
+                out.append((handle.request, response))
+
+    return cluster.sim.process(loop(cluster.sim), name=f"drv{client.client_id}")
+
+
+def run_until_done(cluster: Cluster, drivers: list, cap_ns: int) -> None:
+    """Step the simulation until all driver processes finish (or cap_ns)."""
+    sim = cluster.sim
+    while sim.peek() is not None and sim.now < cap_ns:
+        if all(d.triggered for d in drivers):
+            break
+        sim.step()
+
+
+@pytest.fixture
+def small_config():
+    """A tiny configuration that forces multiple groups quickly."""
+    return ScaleRpcConfig(
+        group_size=4,
+        time_slice_ns=20_000,
+        block_size=256,
+        blocks_per_client=8,
+        n_server_threads=2,
+        rebalance_every_slices=1000,  # keep partitions stable unless asked
+    )

@@ -1,0 +1,65 @@
+"""Tests for the block-granular message placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.msgpool import CACHE_LINE, BlockCursor
+
+
+class TestBlockCursor:
+    def test_right_aligned_tail_lines(self):
+        cursor = BlockCursor(base=0, block_size=4096, blocks=4)
+        # A 1-line message lands on the last line of block 0.
+        assert cursor.next(40) == 4096 - 64
+        # Then the last line of block 1, etc.
+        assert cursor.next(40) == 2 * 4096 - 64
+        assert cursor.next(40) == 3 * 4096 - 64
+        assert cursor.next(40) == 4 * 4096 - 64
+
+    def test_wraps_to_first_block(self):
+        cursor = BlockCursor(base=0, block_size=256, blocks=2)
+        first = cursor.next(32)
+        cursor.next(32)
+        assert cursor.next(32) == first
+
+    def test_multi_line_message_covers_tail(self):
+        cursor = BlockCursor(base=0, block_size=4096, blocks=1)
+        addr = cursor.next(150)  # 3 lines
+        assert addr == 4096 - 3 * 64
+        assert addr % CACHE_LINE == 0
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCursor(0, 256, 2).next(300)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockCursor(0, 32, 2)
+        with pytest.raises(ValueError):
+            BlockCursor(0, 256, 0)
+
+    def test_same_slot_reuses_same_lines(self):
+        """The hot-line set of a slot is exactly blocks x tail lines —
+        the property the LLC-footprint arguments rest on."""
+        cursor = BlockCursor(base=1 << 20, block_size=1024, blocks=8)
+        first_round = [cursor.next(40) for _ in range(8)]
+        second_round = [cursor.next(40) for _ in range(8)]
+        assert first_round == second_round
+
+    @given(
+        block_size=st.sampled_from([128, 256, 1024, 4096]),
+        blocks=st.integers(min_value=1, max_value=16),
+        sizes=st.lists(st.integers(min_value=1, max_value=120), min_size=1, max_size=64),
+    )
+    @settings(max_examples=60)
+    def test_addresses_always_inside_own_block(self, block_size, blocks, sizes):
+        base = 1 << 16
+        cursor = BlockCursor(base, block_size, blocks)
+        for index, size in enumerate(sizes):
+            addr = cursor.next(size)
+            block = index % blocks
+            block_start = base + block * block_size
+            assert block_start <= addr
+            assert addr + size <= block_start + block_size
+            assert addr % CACHE_LINE == 0

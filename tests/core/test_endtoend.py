@@ -1,0 +1,180 @@
+"""End-to-end ScaleRPC behaviour: correctness across groups and switches."""
+
+import pytest
+
+from repro.core import ScaleRpcConfig
+from repro.core.client import ClientState
+
+from .conftest import closed_loop, make_cluster, run_until_done
+
+
+class TestSingleGroup:
+    def test_sync_call_roundtrip(self, small_config):
+        cluster = make_cluster(1, config=small_config)
+        result = {}
+
+        def driver(sim):
+            response = yield from cluster.clients[0].sync_call("echo", payload="ping")
+            result["response"] = response
+
+        cluster.sim.process(driver(cluster.sim))
+        cluster.sim.run(until=2_000_000)
+        assert result["response"].payload == "ping"
+
+    def test_all_batches_complete(self, small_config):
+        cluster = make_cluster(3, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=4, n_batches=10, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 20_000_000)
+        assert len(out) == 3 * 4 * 10
+        for request, response in out:
+            assert response.payload == request.payload
+            assert response.req_id == request.req_id
+
+    def test_single_group_never_switches(self, small_config):
+        cluster = make_cluster(3, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=2, n_batches=20, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 20_000_000)
+        assert cluster.server.stats.context_switches == 0
+
+    def test_clients_reach_process_state(self, small_config):
+        cluster = make_cluster(2, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=2, n_batches=50, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 5_000_000)
+        assert any(c.state is ClientState.PROCESS for c in cluster.clients)
+
+
+class TestMultiGroup:
+    def test_all_groups_served(self, small_config):
+        n = 12  # 3 groups of 4
+        cluster = make_cluster(n, config=small_config)
+        assert len(cluster.server.groups.groups) == 3
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=4, n_batches=6, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 80_000_000)
+        assert len(out) == n * 4 * 6
+        for request, response in out:
+            assert response.payload == request.payload
+
+    def test_context_switches_happen(self, small_config):
+        cluster = make_cluster(8, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=2, n_batches=30, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 80_000_000)
+        assert cluster.server.stats.context_switches > 3
+
+    def test_warmup_fetches_pipeline_requests(self, small_config):
+        cluster = make_cluster(8, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=4, n_batches=20, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 80_000_000)
+        assert cluster.server.stats.warmup_fetches > 0
+        assert cluster.server.stats.warmup_requests >= cluster.server.stats.warmup_fetches
+
+    def test_explicit_notices_for_silent_clients(self, small_config):
+        # 8 clients form 2 groups but only one client is active: the other
+        # group members get explicit context-switch notices.
+        cluster = make_cluster(8, config=small_config)
+        out = []
+        drivers = [closed_loop(cluster, cluster.clients[0], batch=2, n_batches=30, out=out)]
+        run_until_done(cluster, drivers, 80_000_000)
+        assert cluster.server.stats.explicit_notices > 0
+
+    def test_responses_match_under_heavy_concurrency(self, small_config):
+        cluster = make_cluster(16, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=8, n_batches=8, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 300_000_000)
+        assert len(out) == 16 * 8 * 8
+        mismatched = [1 for req, resp in out if resp.payload != req.payload]
+        assert not mismatched
+
+    def test_no_request_lost_across_switches(self, small_config):
+        """Requests racing a context switch are retried, never lost."""
+        cluster = make_cluster(12, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=1, n_batches=40, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 400_000_000)
+        unfinished = [d for d in drivers if not d.triggered]
+        assert not unfinished
+        assert len(out) == 12 * 40
+
+
+class TestVirtualizedMapping:
+    def test_pool_memory_is_client_count_independent(self, small_config):
+        few = make_cluster(4, config=small_config, start=False)
+        many = make_cluster(16, config=small_config, start=False)
+        pool_bytes = lambda c: sum(
+            p.region.range.size for p in c.server.pools.pools
+        )
+        assert pool_bytes(few) == pool_bytes(many)
+
+    def test_groups_share_the_same_physical_slots(self, small_config):
+        cluster = make_cluster(8, config=small_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, client, batch=2, n_batches=10, out=out)
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 80_000_000)
+        # Two groups, one pool pair: the registered pool memory is exactly
+        # two pools (huge-page rounded), not per-client regions.
+        from repro.memsys import HUGE_PAGE_SIZE
+
+        pools = cluster.server.pools.pools
+        rounded = -(-small_config.pool_bytes // HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE
+        total = sum(p.region.range.size for p in pools)
+        assert total == 2 * rounded
+
+
+class TestLatencyShape:
+    def test_grouping_creates_bimodal_latency(self, small_config):
+        """Most calls finish fast; calls crossing a switch wait ~a slice."""
+        cluster = make_cluster(8, config=small_config)
+        latencies = []
+
+        def driver(sim, client):
+            for _ in range(30):
+                handle = yield from client.async_call("echo", payload=0)
+                yield from client.flush()
+                yield from client.poll_completions([handle])
+                latencies.append(handle.latency_ns)
+
+        drivers = [
+            cluster.sim.process(driver(cluster.sim, client))
+            for client in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 400_000_000)
+        assert cluster.server.stats.context_switches > 0
+        latencies.sort()
+        fast = latencies[len(latencies) // 4]  # 25th percentile
+        slow = latencies[-len(latencies) // 10]  # 90th percentile
+        # The slow mode reflects waiting out other groups' slices: at
+        # least one full slice longer than the fast mode.
+        assert slow >= fast + small_config.time_slice_ns

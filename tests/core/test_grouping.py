@@ -1,0 +1,151 @@
+"""Unit tests for connection grouping."""
+
+import pytest
+
+from repro.core import ScaleRpcConfig
+from repro.core.grouping import ClientContext, ConnectionGroup, GroupManager
+
+
+def ctx(client_id):
+    return ClientContext(
+        client_id=client_id,
+        qp=None,
+        response_base=0,
+        response_bytes=1024,
+        staging_base=0,
+    )
+
+
+@pytest.fixture
+def manager():
+    return GroupManager(ScaleRpcConfig(group_size=4))
+
+
+class TestGroupPlacement:
+    def test_fills_groups_to_default_size(self, manager):
+        for i in range(9):
+            manager.add_client(ctx(i))
+        sizes = [len(g) for g in manager.groups]
+        assert sizes == [4, 4, 1]
+
+    def test_slots_are_indices_within_group(self, manager):
+        for i in range(6):
+            manager.add_client(ctx(i))
+        for group in manager.groups:
+            assert [m.slot for m in group.members] == list(range(len(group)))
+
+    def test_duplicate_client_rejected(self, manager):
+        manager.add_client(ctx(1))
+        with pytest.raises(ValueError):
+            manager.add_client(ctx(1))
+
+    def test_remove_compacts_slots(self, manager):
+        contexts = [ctx(i) for i in range(4)]
+        for c in contexts:
+            manager.add_client(c)
+        manager.remove_client(1)
+        group = manager.groups[0]
+        assert [m.client_id for m in group.members] == [0, 2, 3]
+        assert [m.slot for m in group.members] == [0, 1, 2]
+
+    def test_remove_last_member_drops_group(self, manager):
+        manager.add_client(ctx(1))
+        manager.remove_client(1)
+        assert manager.groups == []
+        assert manager.current_group() is None
+
+
+class TestRotation:
+    def test_round_robin(self, manager):
+        for i in range(12):  # 3 groups
+            manager.add_client(ctx(i))
+        first = manager.current_group()
+        second = manager.advance()
+        third = manager.advance()
+        assert len({first.gid, second.gid, third.gid}) == 3
+        assert manager.advance() is first
+
+    def test_peek_next(self, manager):
+        for i in range(8):
+            manager.add_client(ctx(i))
+        current = manager.current_group()
+        upcoming = manager.peek_next()
+        assert upcoming is not current
+        assert manager.advance() is upcoming
+
+    def test_single_group_rotation(self, manager):
+        manager.add_client(ctx(1))
+        only = manager.current_group()
+        assert manager.advance() is only
+        assert manager.peek_next() is only
+
+
+class TestBounds:
+    def test_out_of_bounds_detects_oversize(self):
+        manager = GroupManager(ScaleRpcConfig(group_size=4))
+        group = ConnectionGroup(time_slice_ns=1)
+        for i in range(7):  # above 1.5 * 4 = 6
+            group.add(ctx(i))
+        manager.groups = [group]
+        manager.clients = {m.client_id: m for m in group.members}
+        assert manager.out_of_bounds()
+
+    def test_single_small_group_is_legal(self, manager):
+        manager.add_client(ctx(1))
+        assert not manager.out_of_bounds()
+
+    def test_undersized_among_many_is_out_of_bounds(self, manager):
+        for i in range(5):  # groups of 4 and 1; 1 < 4/2
+            manager.add_client(ctx(i))
+        assert manager.out_of_bounds()
+
+
+class TestRebuild:
+    def test_rebuild_replaces_partition(self, manager):
+        members = [ctx(i) for i in range(6)]
+        for c in members:
+            manager.add_client(c)
+        manager.rebuild([members[:3], members[3:]], [100, 200])
+        assert [len(g) for g in manager.groups] == [3, 3]
+        assert manager.groups[0].time_slice_ns == 100
+        assert manager.groups[1].time_slice_ns == 200
+        assert members[4].slot == 1
+
+    def test_rebuild_rejects_oversized_group(self, manager):
+        members = [ctx(i) for i in range(7)]
+        for c in members:
+            manager.add_client(c)
+        with pytest.raises(ValueError):
+            manager.rebuild([members], [100])  # 7 > pool_slots = 6
+
+    def test_rebuild_requires_matching_slices(self, manager):
+        manager.add_client(ctx(1))
+        with pytest.raises(ValueError):
+            manager.rebuild([[manager.clients[1]]], [])
+
+
+class TestPriorityCounters:
+    def test_close_slice_computes_priority(self):
+        c = ctx(1)
+        c.record_request(32)
+        c.record_request(32)
+        c.close_slice(smoothing=1.0)
+        assert c.priority == pytest.approx(2 / 32)
+        assert c.slice_requests == 0
+
+    def test_idle_slice_decays_priority(self):
+        c = ctx(1)
+        c.record_request(32)
+        c.close_slice(smoothing=0.5)
+        busy = c.priority
+        c.close_slice(smoothing=0.5)
+        assert c.priority == pytest.approx(busy / 2)
+
+    def test_small_requests_rank_higher(self):
+        small, large = ctx(1), ctx(2)
+        for __ in range(10):
+            small.record_request(32)
+            large.record_request(4096)
+        small.close_slice()
+        large.close_slice()
+        assert small.priority > large.priority

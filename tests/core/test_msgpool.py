@@ -1,0 +1,118 @@
+"""Unit tests for message pools and virtualized mapping plumbing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ScaleRpcConfig
+from repro.core.msgpool import CACHE_LINE, PhysicalPool, PoolPair, SlotCursor
+from repro.rdma import Fabric, Node
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def node():
+    sim = Simulator()
+    return Node(sim, "srv", Fabric(sim))
+
+
+@pytest.fixture
+def config():
+    return ScaleRpcConfig(group_size=4, block_size=256, blocks_per_client=4)
+
+
+class TestSlotCursor:
+    def test_advances_by_lines(self):
+        cursor = SlotCursor(0, 1024)
+        assert cursor.next(32) == 0
+        assert cursor.next(32) == 64
+        assert cursor.next(100) == 128
+        assert cursor.next(32) == 256
+
+    def test_wraps_without_straddle(self):
+        cursor = SlotCursor(0, 256)  # 4 lines
+        cursor.next(64)
+        cursor.next(64)
+        cursor.next(64)
+        # 1 line left; a 2-line message wraps to base.
+        assert cursor.next(128) == 0
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            SlotCursor(0, 256).next(512)
+
+    def test_rejects_tiny_slot(self):
+        with pytest.raises(ValueError):
+            SlotCursor(0, 32)
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=512), max_size=100))
+    @settings(max_examples=50)
+    def test_addresses_always_in_slot_and_aligned(self, sizes):
+        base, size = 4096, 2048
+        cursor = SlotCursor(base, size)
+        for message in sizes:
+            addr = cursor.next(message)
+            assert base <= addr < base + size
+            assert addr % CACHE_LINE == 0
+            assert addr + message <= base + size
+
+
+class TestPhysicalPool:
+    def test_slots_are_disjoint_and_cover_pool(self, node, config):
+        pool = PhysicalPool(node, config, 0)
+        bases = [pool.slot_base(s) for s in range(config.pool_slots)]
+        assert len(set(bases)) == config.pool_slots
+        for i, base in enumerate(bases):
+            assert base == pool.base + i * config.slot_bytes
+
+    def test_slot_of_addr_roundtrip(self, node, config):
+        pool = PhysicalPool(node, config, 0)
+        for slot in range(config.pool_slots):
+            addr = pool.slot_base(slot) + 64
+            assert pool.slot_of_addr(addr) == slot
+
+    def test_slot_of_addr_rejects_outside(self, node, config):
+        pool = PhysicalPool(node, config, 0)
+        with pytest.raises(ValueError):
+            pool.slot_of_addr(pool.base - 1)
+
+    def test_slot_base_bounds(self, node, config):
+        pool = PhysicalPool(node, config, 0)
+        with pytest.raises(IndexError):
+            pool.slot_base(config.pool_slots)
+
+    def test_pool_registered_for_remote_write(self, node, config):
+        from repro.rdma import Access
+
+        pool = PhysicalPool(node, config, 0)
+        region = node.mr_table.check(pool.base, 64, Access.REMOTE_WRITE)
+        assert region.range.contains(pool.base)
+
+
+class TestPoolPair:
+    def test_swap_exchanges_roles(self, node, config):
+        pair = PoolPair(node, config)
+        processing, warmup = pair.processing, pair.warmup
+        assert processing is not warmup
+        pair.swap()
+        assert pair.processing is warmup
+        assert pair.warmup is processing
+
+    def test_epoch_increments(self, node, config):
+        pair = PoolPair(node, config)
+        assert pair.epoch == 0
+        assert pair.swap() == 1
+        assert pair.swap() == 2
+
+    def test_pool_of_addr(self, node, config):
+        pair = PoolPair(node, config)
+        for pool in pair.pools:
+            assert pair.pool_of_addr(pool.base) is pool
+        assert pair.pool_of_addr(64) is None
+
+    def test_total_memory_is_two_pools_only(self, node, config):
+        pair = PoolPair(node, config)
+        total = sum(p.region.range.size for p in pair.pools)
+        # Virtualized mapping: memory does not scale with client count.
+        assert total >= 2 * config.pool_bytes
+        assert total <= 2 * (config.pool_bytes + 2 * 1024 * 1024)  # page round

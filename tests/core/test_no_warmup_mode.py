@@ -1,0 +1,72 @@
+"""The no-warmup baseline: activation notices + direct reposting."""
+
+import pytest
+
+from repro.core import ScaleRpcConfig
+from repro.core.client import ClientState
+
+from .conftest import closed_loop, make_cluster, run_until_done
+
+
+@pytest.fixture
+def no_warmup_config():
+    return ScaleRpcConfig(
+        group_size=4,
+        time_slice_ns=20_000,
+        block_size=256,
+        blocks_per_client=8,
+        n_server_threads=2,
+        warmup_enabled=False,
+        rebalance_every_slices=1000,
+    )
+
+
+class TestActivationPath:
+    def test_all_calls_complete_without_warmup(self, no_warmup_config):
+        cluster = make_cluster(8, config=no_warmup_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, c, batch=3, n_batches=10, out=out)
+            for c in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 400_000_000)
+        assert len(out) == 8 * 3 * 10
+        assert all(resp.payload == req.payload for req, resp in out)
+
+    def test_no_warmup_fetches_happen(self, no_warmup_config):
+        cluster = make_cluster(8, config=no_warmup_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, c, batch=2, n_batches=10, out=out)
+            for c in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 400_000_000)
+        # The server never RDMA-reads request batches in this mode...
+        assert cluster.server.stats.warmup_fetches == 0
+        # ...and still switches groups.
+        assert cluster.server.stats.context_switches > 0
+
+    def test_clients_reach_process_via_activation(self, no_warmup_config):
+        cluster = make_cluster(8, config=no_warmup_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, c, batch=2, n_batches=30, out=out)
+            for c in cluster.clients
+        ]
+        # Step partway: someone must be in PROCESS through an activation.
+        sim = cluster.sim
+        while sim.peek() is not None and sim.now < 300_000:
+            sim.step()
+        assert any(c.state is ClientState.PROCESS for c in cluster.clients)
+        run_until_done(cluster, drivers, 400_000_000)
+
+    def test_single_group_no_warmup(self, no_warmup_config):
+        cluster = make_cluster(3, config=no_warmup_config)
+        out = []
+        drivers = [
+            closed_loop(cluster, c, batch=2, n_batches=10, out=out)
+            for c in cluster.clients
+        ]
+        run_until_done(cluster, drivers, 100_000_000)
+        assert len(out) == 3 * 2 * 10
+        assert cluster.server.stats.context_switches == 0

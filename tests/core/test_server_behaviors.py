@@ -1,0 +1,132 @@
+"""Server-side behaviours: legacy mode, rebalancing, churn, dedup."""
+
+import pytest
+
+from repro.core import ScaleRpcConfig
+from repro.core.client import ClientState
+
+from .conftest import closed_loop, make_cluster, run_until_done
+
+
+class TestLegacyMode:
+    """Paper Section 3.5: long RPCs fail once, then run on a dedicated
+    legacy thread."""
+
+    def _cluster(self, threshold_ns=30_000, cost_ns=100_000):
+        config = ScaleRpcConfig(
+            group_size=4,
+            time_slice_ns=20_000,
+            block_size=256,
+            blocks_per_client=8,
+            n_server_threads=2,
+            long_rpc_threshold_ns=threshold_ns,
+        )
+        cost_fn = lambda req: cost_ns if req.rpc_type == "slow" else 0
+        return make_cluster(2, config=config, handler_cost_fn=cost_fn)
+
+    def test_long_rpc_fails_once_then_completes_in_legacy(self):
+        cluster = self._cluster()
+        outcome = {}
+
+        def driver(sim):
+            response = yield from cluster.clients[0].sync_call("slow", payload="x")
+            outcome["payload"] = response.payload
+
+        driver_proc = cluster.sim.process(driver(cluster.sim))
+        run_until_done(cluster, [driver_proc], 100_000_000)
+        assert outcome["payload"] == "x"
+        stats = cluster.server.stats
+        assert stats.failed_long_rpcs == 1
+        assert stats.legacy_completed == 1
+        assert cluster.clients[0].failed_retries == 1
+        assert "slow" in cluster.server._legacy_types
+
+    def test_subsequent_long_rpcs_skip_the_failure(self):
+        cluster = self._cluster()
+        results = []
+
+        def driver(sim):
+            for i in range(3):
+                response = yield from cluster.clients[0].sync_call("slow", payload=i)
+                results.append(response.payload)
+
+        driver_proc = cluster.sim.process(driver(cluster.sim))
+        run_until_done(cluster, [driver_proc], 200_000_000)
+        assert results == [0, 1, 2]
+        # Only the very first sighting fails.
+        assert cluster.server.stats.failed_long_rpcs == 1
+        assert cluster.server.stats.legacy_completed == 3
+
+    def test_short_rpcs_never_fail(self):
+        cluster = self._cluster()
+        out = []
+        drivers = [closed_loop(cluster, c, batch=2, n_batches=10, out=out) for c in cluster.clients]
+        run_until_done(cluster, drivers, 100_000_000)
+        assert cluster.server.stats.failed_long_rpcs == 0
+        assert cluster.server.stats.legacy_completed == 0
+
+
+class TestChurn:
+    def test_disconnect_mid_run(self, small_config):
+        cluster = make_cluster(8, config=small_config)
+        out = []
+        survivors = cluster.clients[:6]
+        drivers = [closed_loop(cluster, c, batch=2, n_batches=15, out=out) for c in survivors]
+
+        def leaver(sim):
+            yield sim.timeout(100_000)
+            cluster.clients[6].disconnect()
+            cluster.clients[7].disconnect()
+
+        cluster.sim.process(leaver(cluster.sim))
+        run_until_done(cluster, drivers, 200_000_000)
+        assert len(out) == 6 * 2 * 15
+        assert cluster.server.groups.n_clients == 6
+
+    def test_late_joiner_gets_service(self, small_config):
+        cluster = make_cluster(4, config=small_config)
+        out = []
+        drivers = [closed_loop(cluster, c, batch=2, n_batches=10, out=out) for c in cluster.clients]
+        late = {}
+
+        def joiner(sim):
+            yield sim.timeout(150_000)
+            client = cluster.server.connect(cluster.machines[0])
+            response = yield from client.sync_call("echo", payload="late")
+            late["payload"] = response.payload
+
+        joiner_proc = cluster.sim.process(joiner(cluster.sim))
+        run_until_done(cluster, drivers + [joiner_proc], 200_000_000)
+        assert late["payload"] == "late"
+
+
+class TestRebalanceUnderLoad:
+    def test_dynamic_rebalance_keeps_correctness(self):
+        config = ScaleRpcConfig(
+            group_size=4,
+            time_slice_ns=20_000,
+            block_size=256,
+            blocks_per_client=8,
+            n_server_threads=2,
+            dynamic_scheduling=True,
+            rebalance_every_slices=2,  # aggressive
+        )
+        cluster = make_cluster(12, config=config)
+        out = []
+        drivers = [closed_loop(cluster, c, batch=2, n_batches=12, out=out) for c in cluster.clients]
+        run_until_done(cluster, drivers, 400_000_000)
+        assert len(out) == 12 * 2 * 12
+        assert all(resp.payload == req.payload for req, resp in out)
+        assert cluster.server.scheduler.rebalances > 0
+
+
+class TestExactlyOnceVisibility:
+    def test_no_response_for_unknown_requests(self, small_config):
+        """Responses only complete their own handles; duplicates are
+        absorbed by the dedup window."""
+        cluster = make_cluster(6, config=small_config)
+        out = []
+        drivers = [closed_loop(cluster, c, batch=4, n_batches=10, out=out) for c in cluster.clients]
+        run_until_done(cluster, drivers, 400_000_000)
+        req_ids = [req.req_id for req, _resp in out]
+        assert len(req_ids) == len(set(req_ids)), "every request completes once"

@@ -1,0 +1,97 @@
+"""Tests for the NTP-like global synchronizer."""
+
+import pytest
+
+from repro.core import GlobalSynchronizer, ScaleRpcConfig, ScaleRpcServer
+from repro.rdma import Fabric, Node
+from repro.sim import Simulator
+
+
+def make_servers(n=3, time_slice_ns=50_000, slices_equal=True):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    servers = []
+    for index in range(n):
+        node = Node(sim, f"s{index}", fabric)
+        slice_ns = time_slice_ns if slices_equal else time_slice_ns * (index + 1)
+        servers.append(
+            ScaleRpcServer(
+                node,
+                lambda r: r.payload,
+                config=ScaleRpcConfig(
+                    group_size=4,
+                    time_slice_ns=slice_ns,
+                    dynamic_scheduling=False,
+                ),
+            )
+        )
+    return sim, servers
+
+
+class TestConstruction:
+    def test_requires_two_servers(self):
+        sim, servers = make_servers(1)
+        with pytest.raises(ValueError):
+            GlobalSynchronizer(servers)
+
+    def test_requires_equal_slices(self):
+        sim, servers = make_servers(2, slices_equal=False)
+        with pytest.raises(ValueError):
+            GlobalSynchronizer(servers)
+
+    def test_attaches_to_all_servers(self):
+        sim, servers = make_servers(3)
+        synchronizer = GlobalSynchronizer(servers)
+        assert all(s.synchronizer is synchronizer for s in servers)
+
+
+class TestProtocol:
+    def test_sync_rounds_happen(self):
+        sim, servers = make_servers(3)
+        synchronizer = GlobalSynchronizer(servers, sync_period_ns=1_000_000)
+        synchronizer.start()
+        sim.run(until=5_000_000)
+        assert synchronizer.sync_rounds >= 2 * (len(servers) - 1)
+
+    def test_half_rtt_measured(self):
+        sim, servers = make_servers(2)
+        synchronizer = GlobalSynchronizer(servers, sync_period_ns=1_000_000)
+        synchronizer.start()
+        sim.run(until=3_000_000)
+        # One wire flight each way plus NIC processing: the measured
+        # correction is around the fabric's one-way latency.
+        latency = servers[0].node.fabric.params.latency_ns
+        assert latency // 2 < synchronizer.max_correction_ns < 4 * latency
+
+    def test_followers_land_on_the_grid(self):
+        sim, servers = make_servers(3)
+        synchronizer = GlobalSynchronizer(servers, sync_period_ns=500_000)
+        synchronizer.start()
+        sim.run(until=2_000_000)
+        period = synchronizer.period_ns
+        anchor = synchronizer._anchor
+        assert anchor is not None
+        for follower in synchronizer.followers:
+            target = synchronizer._next_switch.get(id(follower))
+            assert target is not None
+            # The NTP-style estimate carries a small asymmetric-path error;
+            # it must land within a few microseconds of the grid.
+            offset = (target - anchor) % period
+            assert min(offset, period - offset) <= 5_000
+
+    def test_sleep_slice_aligns_servers(self):
+        sim, servers = make_servers(2)
+        synchronizer = GlobalSynchronizer(servers, sync_period_ns=200_000)
+        synchronizer.start()
+        sim.run(until=1_000_000)
+        wakeups = []
+
+        def sleeper(sim, server):
+            yield from synchronizer.sleep_slice(server, synchronizer.period_ns)
+            wakeups.append(sim.now)
+
+        for server in servers:
+            sim.process(sleeper(sim, server))
+        sim.run(until=2_000_000)
+        assert len(wakeups) == 2
+        assert abs(wakeups[0] - wakeups[1]) <= synchronizer.period_ns // 10

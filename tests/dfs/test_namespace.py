@@ -1,0 +1,153 @@
+"""Unit and property tests for the FS namespace."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfs import (
+    DirectoryNotEmptyError,
+    ExistsError,
+    FsError,
+    FsNamespace,
+    InodeType,
+    NotADirectoryError_,
+    NotFoundError,
+)
+
+
+@pytest.fixture
+def fs():
+    return FsNamespace()
+
+
+class TestMknodStat:
+    def test_mknod_then_stat(self, fs):
+        created = fs.mknod("/a", now_ns=5)
+        st_ = fs.stat("/a")
+        assert st_.ino == created.ino
+        assert st_.itype == InodeType.FILE
+        assert st_.ctime_ns == 5
+
+    def test_mknod_duplicate_rejected(self, fs):
+        fs.mknod("/a")
+        with pytest.raises(ExistsError):
+            fs.mknod("/a")
+
+    def test_mknod_in_missing_dir(self, fs):
+        with pytest.raises(NotFoundError):
+            fs.mknod("/missing/a")
+
+    def test_mknod_under_file_rejected(self, fs):
+        fs.mknod("/a")
+        with pytest.raises(NotADirectoryError_):
+            fs.mknod("/a/b")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(FsError):
+            fs.mknod("a")
+
+    def test_stat_missing(self, fs):
+        with pytest.raises(NotFoundError):
+            fs.stat("/nope")
+
+    def test_inode_numbers_unique(self, fs):
+        a = fs.mknod("/a")
+        b = fs.mknod("/b")
+        assert a.ino != b.ino
+
+
+class TestDirectories:
+    def test_mkdir_and_nested_files(self, fs):
+        fs.mkdir("/d")
+        fs.mkdir("/d/e")
+        fs.mknod("/d/e/f")
+        assert fs.stat("/d/e/f").itype == InodeType.FILE
+        assert fs.stat("/d").itype == InodeType.DIRECTORY
+
+    def test_readdir_sorted(self, fs):
+        fs.mkdir("/d")
+        for name in ("z", "a", "m"):
+            fs.mknod(f"/d/{name}")
+        assert fs.readdir("/d") == ["a", "m", "z"]
+
+    def test_readdir_on_file_rejected(self, fs):
+        fs.mknod("/f")
+        with pytest.raises(NotADirectoryError_):
+            fs.readdir("/f")
+
+    def test_readdir_root(self, fs):
+        fs.mknod("/x")
+        assert fs.readdir("/") == ["x"]
+
+    def test_nlink_counts_entries(self, fs):
+        fs.mkdir("/d")
+        fs.mknod("/d/a")
+        assert fs.stat("/d").nlink == 3  # ., .., a
+
+
+class TestRmnod:
+    def test_rmnod_file(self, fs):
+        fs.mknod("/a")
+        fs.rmnod("/a")
+        assert not fs.exists("/a")
+
+    def test_rmnod_missing(self, fs):
+        with pytest.raises(NotFoundError):
+            fs.rmnod("/a")
+
+    def test_rmnod_empty_dir(self, fs):
+        fs.mkdir("/d")
+        fs.rmnod("/d")
+        assert not fs.exists("/d")
+
+    def test_rmnod_nonempty_dir_rejected(self, fs):
+        fs.mkdir("/d")
+        fs.mknod("/d/a")
+        with pytest.raises(DirectoryNotEmptyError):
+            fs.rmnod("/d")
+
+    def test_inode_count_tracks(self, fs):
+        base = fs.n_inodes
+        fs.mkdir("/d")
+        fs.mknod("/d/a")
+        fs.rmnod("/d/a")
+        assert fs.n_inodes == base + 1
+
+
+class TestNamespaceProperties:
+    names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+
+    @given(ops=st.lists(st.tuples(st.sampled_from(["mknod", "rmnod"]), names), max_size=60))
+    @settings(max_examples=50)
+    def test_matches_reference_set(self, ops):
+        """The namespace under flat mknod/rmnod behaves as a set of names."""
+        fs = FsNamespace()
+        reference = set()
+        for op, name in ops:
+            path = f"/{name}"
+            if op == "mknod":
+                if name in reference:
+                    with pytest.raises(ExistsError):
+                        fs.mknod(path)
+                else:
+                    fs.mknod(path)
+                    reference.add(name)
+            else:
+                if name in reference:
+                    fs.rmnod(path)
+                    reference.discard(name)
+                else:
+                    with pytest.raises(NotFoundError):
+                        fs.rmnod(path)
+        assert fs.readdir("/") == sorted(reference)
+        assert fs.n_inodes == 1 + len(reference)
+
+    @given(names=st.lists(names, unique=True, min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_walk_visits_every_path(self, names):
+        fs = FsNamespace()
+        fs.mkdir("/d")
+        for name in names:
+            fs.mknod(f"/d/{name}")
+        walked = set(fs.walk())
+        assert walked == {"/d"} | {f"/d/{n}" for n in names}

@@ -1,0 +1,159 @@
+"""Unit and property tests for the exact LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys import LruCache
+
+
+class TestLruCache:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_miss_then_hit(self):
+        cache = LruCache(4)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_is_lru_order(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh a; b is now LRU
+        cache.access("c")  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_cyclic_access_beyond_capacity_always_misses(self):
+        # Round-robin over N > capacity keys thrashes LRU completely:
+        # the mechanism behind the NIC-cache collapse.
+        cache = LruCache(4)
+        keys = list(range(6))
+        for _ in range(10):
+            for k in keys:
+                cache.access(k)
+        # First pass: 6 cold misses; every later access also misses.
+        assert cache.hits == 0
+        assert cache.misses == 60
+
+    def test_cyclic_access_within_capacity_all_hit(self):
+        cache = LruCache(8)
+        keys = list(range(6))
+        for _ in range(10):
+            for k in keys:
+                cache.access(k)
+        assert cache.misses == 6  # cold only
+        assert cache.hits == 54
+
+    def test_probe_does_not_touch(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.access("b")
+        assert cache.probe("a")
+        # a not refreshed by probe, so it is still LRU and gets evicted.
+        cache.access("c")
+        assert not cache.probe("a")
+        assert cache.hits == 0
+
+    def test_insert_does_not_count_access(self):
+        cache = LruCache(2)
+        cache.insert("a")
+        assert cache.accesses == 0
+        assert "a" in cache
+
+    def test_insert_refreshes_existing(self):
+        cache = LruCache(2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.insert("a")  # refresh
+        cache.insert("c")  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_invalidate(self):
+        cache = LruCache(2)
+        cache.access("a")
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert "a" not in cache
+
+    def test_miss_rate(self):
+        cache = LruCache(2)
+        assert cache.miss_rate == 0.0
+        cache.access("a")
+        cache.access("a")
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_clear_preserves_counters(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_reset_stats(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert "a" in cache
+
+    def test_keys_in_lru_order(self):
+        cache = LruCache(3)
+        for k in ("a", "b", "c"):
+            cache.access(k)
+        cache.access("a")
+        assert list(cache.keys()) == ["b", "c", "a"]
+
+    def test_pop_lru_empty(self):
+        assert LruCache(1).pop_lru() is None
+
+
+class TestLruProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        accesses=st.lists(st.integers(min_value=0, max_value=31), max_size=200),
+    )
+    @settings(max_examples=100)
+    def test_occupancy_never_exceeds_capacity(self, capacity, accesses):
+        cache = LruCache(capacity)
+        for key in accesses:
+            cache.access(key)
+        assert len(cache) <= capacity
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        accesses=st.lists(st.integers(min_value=0, max_value=31), max_size=200),
+    )
+    @settings(max_examples=100)
+    def test_counters_are_consistent(self, capacity, accesses):
+        cache = LruCache(capacity)
+        for key in accesses:
+            cache.access(key)
+        assert cache.hits + cache.misses == len(accesses)
+        # Entries present = insertions - evictions.
+        assert len(cache) == cache.misses - cache.evictions
+
+    @given(
+        accesses=st.lists(st.integers(min_value=0, max_value=31), max_size=200),
+    )
+    @settings(max_examples=60)
+    def test_matches_reference_lru(self, accesses):
+        """Cross-check against a naive list-based LRU implementation."""
+        capacity = 4
+        cache = LruCache(capacity)
+        reference: list[int] = []  # index 0 = LRU
+        for key in accesses:
+            expected_hit = key in reference
+            if expected_hit:
+                reference.remove(key)
+            elif len(reference) == capacity:
+                reference.pop(0)
+            reference.append(key)
+            assert cache.access(key) is expected_hit
+        assert list(cache.keys()) == reference

@@ -1,0 +1,88 @@
+"""Tests for PCIe counters and the PCM-like monitor."""
+
+import pytest
+
+from repro.memsys import (
+    CounterMonitor,
+    LastLevelCache,
+    LlcParams,
+    PcieCounters,
+)
+from repro.sim import Simulator
+
+
+class TestPcieCounters:
+    def test_snapshot_and_delta(self):
+        counters = PcieCounters()
+        before = counters.snapshot()
+        counters.pcie_rd_cur += 5
+        counters.itom += 2
+        counters.rfo += 1
+        delta = counters.snapshot().delta(before)
+        assert delta.pcie_rd_cur == 5
+        assert delta.total_writes == 3
+
+    def test_reset(self):
+        counters = PcieCounters()
+        counters.pcie_itom = 9
+        counters.reset()
+        assert counters.snapshot().pcie_itom == 0
+
+
+class TestCounterMonitor:
+    def _setup(self):
+        sim = Simulator()
+        counters = PcieCounters()
+        llc = LastLevelCache(LlcParams(capacity_bytes=64 * 64), counters)
+        return sim, counters, llc
+
+    def test_rates_per_second(self):
+        sim, counters, llc = self._setup()
+        monitor = CounterMonitor(sim, counters, llc)
+        monitor.start()
+        counters.pcie_rd_cur += 1000
+        sim.run(until=1_000_000)  # 1 ms
+        rates = monitor.stop()
+        assert rates.window_ns == 1_000_000
+        assert rates.pcie_rd_cur_per_s == pytest.approx(1e6)
+
+    def test_window_isolation(self):
+        sim, counters, llc = self._setup()
+        counters.pcie_rd_cur += 999  # before window: must not count
+        monitor = CounterMonitor(sim, counters, llc)
+        monitor.start()
+        sim.run(until=1000)
+        rates = monitor.stop()
+        assert rates.pcie_rd_cur_per_s == 0.0
+
+    def test_l3_miss_rate_in_window(self):
+        sim, counters, llc = self._setup()
+        llc.cpu_access(0, 64)  # pre-window miss, excluded
+        monitor = CounterMonitor(sim, counters, llc)
+        monitor.start()
+        llc.cpu_access(0, 64)  # hit
+        llc.cpu_access(64, 64)  # miss
+        sim.run(until=10)
+        assert monitor.stop().l3_miss_rate == pytest.approx(0.5)
+
+    def test_stop_before_start_raises(self):
+        sim, counters, llc = self._setup()
+        with pytest.raises(RuntimeError):
+            CounterMonitor(sim, counters, llc).stop()
+
+    def test_empty_window_raises(self):
+        sim, counters, llc = self._setup()
+        monitor = CounterMonitor(sim, counters, llc)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.stop()
+
+    def test_scaled_dict(self):
+        sim, counters, llc = self._setup()
+        monitor = CounterMonitor(sim, counters, llc)
+        monitor.start()
+        counters.itom += 2_000_000
+        sim.run(until=1_000_000_000)  # 1 s
+        scaled = monitor.stop().scaled()
+        assert scaled["ItoM"] == pytest.approx(2.0)
+        assert set(scaled) == {"PCIeRdCur", "RFO", "ItoM", "PCIeItoM"}

@@ -1,0 +1,64 @@
+"""Tests for the physical memory model."""
+
+import pytest
+
+from repro.memsys import HUGE_PAGE_SIZE, OutOfMemoryError, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_never_returns_page_zero(self):
+        mem = PhysicalMemory()
+        r = mem.allocate(64)
+        assert r.base >= HUGE_PAGE_SIZE
+
+    def test_alignment(self):
+        mem = PhysicalMemory()
+        r = mem.allocate(100, alignment=4096)
+        assert r.base % 4096 == 0
+
+    def test_bad_alignment_rejected(self):
+        mem = PhysicalMemory()
+        with pytest.raises(ValueError):
+            mem.allocate(64, alignment=3)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory().allocate(0)
+
+    def test_ranges_do_not_overlap(self):
+        mem = PhysicalMemory()
+        a = mem.allocate(1000)
+        b = mem.allocate(1000)
+        assert a.end <= b.base
+
+    def test_out_of_memory(self):
+        mem = PhysicalMemory(capacity_bytes=4 * HUGE_PAGE_SIZE)
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate(100 * HUGE_PAGE_SIZE)
+
+    def test_huge_page_allocation_rounds_up(self):
+        mem = PhysicalMemory()
+        r = mem.allocate_huge_pages(HUGE_PAGE_SIZE + 1)
+        assert r.size == 2 * HUGE_PAGE_SIZE
+        assert r.base % HUGE_PAGE_SIZE == 0
+
+    def test_owner_range(self):
+        mem = PhysicalMemory()
+        r = mem.allocate(128)
+        assert mem.owner_range(r.base + 64) == r
+        with pytest.raises(ValueError):
+            mem.owner_range(0)
+
+    def test_range_contains_and_offset(self):
+        mem = PhysicalMemory()
+        r = mem.allocate(128)
+        assert r.contains(r.base, 128)
+        assert not r.contains(r.base, 129)
+        assert r.offset_of(r.base + 10) == 10
+        with pytest.raises(ValueError):
+            r.offset_of(r.end)
+
+    def test_allocated_bytes_tracks(self):
+        mem = PhysicalMemory()
+        mem.allocate(64)
+        assert mem.allocated_bytes >= 64

@@ -1,0 +1,82 @@
+"""Tests for the random-replacement cache policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys import LruCache
+
+
+class TestRandomPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(4, policy="fifo")
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            cache = LruCache(8, policy="random", seed=seed)
+            return [cache.access(i % 20) for i in range(200)]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_cyclic_access_beyond_capacity_hits_sometimes(self):
+        """The property that motivates random replacement: cyclic access
+        over N > capacity keys yields ~capacity/N hits, not 0% (which is
+        what strict LRU gives and what the paper's gradual Figure-1(b)
+        curve rules out)."""
+        capacity, n_keys, rounds = 32, 64, 200
+        cache = LruCache(capacity, policy="random", seed=3)
+        for r in range(rounds):
+            for key in range(n_keys):
+                cache.access(key)
+        hit_rate = cache.hits / cache.accesses
+        # Fixed point of h = (1 - (1-h)/C)^N for C=32, N=64 is ~0.2.
+        assert 0.1 < hit_rate < 0.4
+
+        lru = LruCache(capacity, policy="lru")
+        for r in range(rounds):
+            for key in range(n_keys):
+                lru.access(key)
+        assert lru.hits == 0  # strict LRU thrashes completely
+
+    def test_invalidate_keeps_index_consistent(self):
+        cache = LruCache(4, policy="random", seed=1)
+        for key in range(4):
+            cache.insert(key)
+        assert cache.invalidate(2)
+        assert not cache.invalidate(2)
+        cache.insert(9)
+        assert set(cache._keys) == set(cache._entries)
+
+    def test_clear_resets_index(self):
+        cache = LruCache(4, policy="random", seed=1)
+        for key in range(4):
+            cache.access(key)
+        cache.clear()
+        assert len(cache) == 0
+        cache.access(1)
+        assert len(cache) == 1
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["access", "insert", "invalidate"]),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60)
+    def test_index_matches_entries(self, ops):
+        cache = LruCache(5, policy="random", seed=7)
+        for op, key in ops:
+            if op == "access":
+                cache.access(key)
+            elif op == "insert":
+                cache.insert(key)
+            else:
+                cache.invalidate(key)
+            assert len(cache) <= 5
+            assert set(cache._keys) == set(cache._entries)
+            assert len(cache._keys) == len(cache._entries)

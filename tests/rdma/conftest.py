@@ -1,0 +1,32 @@
+"""Shared fixtures for RDMA substrate tests."""
+
+import pytest
+
+from repro.rdma import Fabric, Node, Transport
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    return Fabric(sim)
+
+
+@pytest.fixture
+def nodes(sim, fabric):
+    """Two connected nodes (a, b)."""
+    return Node(sim, "a", fabric), Node(sim, "b", fabric)
+
+
+@pytest.fixture
+def rc_pair(nodes):
+    """A connected RC QP pair (qp on a, peer on b)."""
+    a, b = nodes
+    qp_a = a.create_qp(Transport.RC)
+    qp_b = b.create_qp(Transport.RC)
+    qp_a.connect(qp_b)
+    return qp_a, qp_b

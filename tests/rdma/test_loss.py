@@ -1,0 +1,104 @@
+"""Packet-loss injection: unreliable transports lose, RC never does."""
+
+import pytest
+
+from repro.rdma import (
+    Fabric,
+    Node,
+    Transport,
+    WireParams,
+    post_recv,
+    post_send,
+    post_write,
+)
+from repro.sim import Simulator
+
+
+def lossy_fabric(loss=0.3, seed=1):
+    sim = Simulator()
+    return sim, Fabric(sim, WireParams(loss_rate=loss), seed=seed)
+
+
+class TestWireParams:
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            WireParams(loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            WireParams(loss_rate=1.0)
+
+
+class TestRcNeverLoses:
+    def test_all_rc_writes_delivered(self):
+        sim, fabric = lossy_fabric(loss=0.5)
+        a, b = Node(sim, "a", fabric), Node(sim, "b", fabric)
+        qp_a, qp_b = a.create_qp(Transport.RC), b.create_qp(Transport.RC)
+        qp_a.connect(qp_b)
+        src = a.register_memory(4096)
+        dst = b.register_memory(1 << 20)
+        arrived = []
+        b.watch_writes(dst.range, arrived.append)
+        for i in range(50):
+            post_write(qp_a, src.range.base, dst.range.base + 64 * i, 32,
+                       payload=i, signaled=False)
+        sim.run()
+        assert len(arrived) == 50
+        assert fabric.packets_lost == 0
+
+
+class TestUnreliableLoss:
+    def test_uc_writes_are_lost_silently(self):
+        sim, fabric = lossy_fabric(loss=0.4)
+        a, b = Node(sim, "a", fabric), Node(sim, "b", fabric)
+        qp_a, qp_b = a.create_qp(Transport.UC), b.create_qp(Transport.UC)
+        qp_a.connect(qp_b)
+        src = a.register_memory(4096)
+        dst = b.register_memory(1 << 20)
+        arrived = []
+        b.watch_writes(dst.range, arrived.append)
+        completions = [
+            post_write(qp_a, src.range.base, dst.range.base + 64 * i, 32)
+            for i in range(100)
+        ]
+        sim.run()
+        # The sender always completes; the receiver misses the lost ones.
+        assert all(wr.done for wr in completions)
+        assert 30 <= len(arrived) <= 90
+        assert fabric.packets_lost == 100 - len(arrived)
+
+    def test_ud_sends_are_lost(self):
+        sim, fabric = lossy_fabric(loss=0.4)
+        a, b = Node(sim, "a", fabric), Node(sim, "b", fabric)
+        ud_a, ud_b = a.create_qp(Transport.UD, max_recv_wr=256), b.create_qp(
+            Transport.UD, max_recv_wr=256
+        )
+        buf = b.register_memory(64 * 256, huge_pages=False)
+        for i in range(200):
+            post_recv(ud_b, buf.range.base + (i % 256) * 64, 64)
+        for i in range(100):
+            post_send(ud_a, 32, payload=i, dest=ud_b.address_handle(), signaled=False)
+        sim.run()
+        delivered = ud_b.recv_cq.poll(max_entries=200)
+        assert 30 <= len(delivered) <= 90
+        assert fabric.packets_lost > 0
+
+    def test_loss_is_deterministic_per_seed(self):
+        def run(seed):
+            sim, fabric = lossy_fabric(loss=0.4, seed=seed)
+            a, b = Node(sim, "a", fabric), Node(sim, "b", fabric)
+            qp_a, qp_b = a.create_qp(Transport.UC), b.create_qp(Transport.UC)
+            qp_a.connect(qp_b)
+            src = a.register_memory(4096)
+            dst = b.register_memory(1 << 20)
+            for i in range(60):
+                post_write(qp_a, src.range.base, dst.range.base + 64 * i, 32,
+                           signaled=False)
+            sim.run()
+            return fabric.packets_lost
+
+        assert run(7) == run(7)
+        assert run(7) != run(8) or run(7) != run(9)
+
+    def test_zero_loss_by_default(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        assert not fabric.drops_packet(reliable=False)

@@ -1,0 +1,140 @@
+"""Integration tests: the NIC connection cache produces the paper's
+outbound-scaling behaviour (Section 2.3), and inbound stays flat."""
+
+import pytest
+
+from repro.rdma import Fabric, NicParams, Node, Transport, post_write
+from repro.sim import Simulator
+
+
+def outbound_round_trip_stats(n_clients: int, rounds: int = 5):
+    """One server writes to n_clients in round-robin; return NIC stats."""
+    sim = Simulator()
+    fabric = Fabric(sim)
+    params = NicParams(conn_cache_entries=8, conn_cache_policy="lru")
+    server = Node(sim, "server", fabric, nic_params=params)
+    src = server.register_memory(1 << 20)
+    targets = []
+    for i in range(n_clients):
+        client = Node(sim, f"c{i}", fabric, nic_params=params)
+        dst = client.register_memory(4096)
+        qp_s = server.create_qp(Transport.RC)
+        qp_c = client.create_qp(Transport.RC)
+        qp_s.connect(qp_c)
+        targets.append((qp_s, dst.range.base))
+
+    def driver(sim):
+        for _ in range(rounds):
+            for qp, addr in targets:
+                wr = post_write(qp, src.range.base, addr, 32)
+                yield wr.completion
+
+    sim.process(driver(sim))
+    sim.run()
+    return server.nic.stats, sim.now
+
+
+class TestConnectionCacheScaling:
+    def test_few_connections_stay_cached(self):
+        stats, _ = outbound_round_trip_stats(n_clients=4)
+        assert stats.conn_misses == 4  # cold misses only
+        assert stats.conn_hits == 16
+
+    def test_many_connections_thrash(self):
+        stats, _ = outbound_round_trip_stats(n_clients=16)
+        # Cyclic access over 16 keys with an 8-entry LRU: every access misses.
+        assert stats.conn_hits == 0
+        assert stats.conn_misses == 16 * 5
+
+    def test_thrashing_slows_outbound(self):
+        _, t_small = outbound_round_trip_stats(n_clients=4, rounds=10)
+        _, t_large = outbound_round_trip_stats(n_clients=16, rounds=10)
+        per_op_small = t_small / (4 * 10)
+        per_op_large = t_large / (16 * 10)
+        assert per_op_large > per_op_small * 1.2
+
+    def test_miss_amplifies_pcie_reads(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        params = NicParams(conn_cache_entries=2, conn_cache_policy="lru")
+        server = Node(sim, "server", fabric, nic_params=params)
+        src = server.register_memory(1 << 20)
+        qps = []
+        for i in range(4):
+            client = Node(sim, f"c{i}", fabric)
+            dst = client.register_memory(4096)
+            qp_s = server.create_qp(Transport.RC)
+            qp_c = client.create_qp(Transport.RC)
+            qp_s.connect(qp_c)
+            qps.append((qp_s, dst.range.base))
+
+        def driver(sim):
+            for _ in range(3):
+                for qp, addr in qps:
+                    wr = post_write(qp, src.range.base, addr, 32)
+                    yield wr.completion
+
+        sim.process(driver(sim))
+        sim.run()
+        ops = 12
+        # Every op misses the 2-entry QPC cache (cyclic over 4 keys):
+        # payload line + QPC refetch per op, plus the four cold WQE-cache
+        # misses (the WQE cache default easily holds 4 connections).
+        expected = ops * (1 + params.conn_miss_fetch_lines) + 4 * params.wqe_miss_fetch_lines
+        assert server.counters.pcie_rd_cur == expected
+
+
+class TestInboundFlat:
+    def test_inbound_never_touches_conn_cache(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        params = NicParams(conn_cache_entries=2, conn_cache_policy="lru")
+        server = Node(sim, "server", fabric, nic_params=params)
+        pool = server.register_memory(1 << 20)
+        clients = []
+        for i in range(8):
+            client = Node(sim, f"c{i}", fabric)
+            src = client.register_memory(4096)
+            qp_c = client.create_qp(Transport.RC)
+            qp_s = server.create_qp(Transport.RC)
+            qp_c.connect(qp_s)
+            clients.append((client, qp_c, src.range.base))
+
+        def client_proc(sim, qp, src_addr, slot):
+            for n in range(5):
+                wr = post_write(qp, src_addr, pool.range.base + slot * 64, 32)
+                yield wr.completion
+
+        for i, (client, qp, src_addr) in enumerate(clients):
+            sim.process(client_proc(sim, qp, src_addr, i))
+        sim.run()
+        assert server.nic.stats.conn_misses == 0
+        assert server.nic.stats.rx_ops == 40
+
+    def test_ud_send_has_no_connection_key(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        params = NicParams(conn_cache_entries=1, conn_cache_policy="lru")
+        sender = Node(sim, "s", fabric, nic_params=params)
+        from repro.rdma import post_recv, post_send
+
+        receivers = []
+        for i in range(6):
+            node = Node(sim, f"r{i}", fabric)
+            qp = node.create_qp(Transport.UD)
+            buf = node.register_memory(8192)
+            for _ in range(4):
+                post_recv(qp, buf.range.base, 4096)
+            receivers.append(qp)
+        ud = sender.create_qp(Transport.UD)
+
+        def driver(sim):
+            for _ in range(3):
+                for qp in receivers:
+                    wr = post_send(ud, 32, dest=qp.address_handle())
+                    yield wr.completion
+
+        sim.process(driver(sim))
+        sim.run()
+        assert sender.nic.stats.conn_misses == 0
+        assert sender.nic.stats.conn_hits == 0

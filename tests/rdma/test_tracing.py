@@ -1,0 +1,63 @@
+"""Verb-level tracing through the fabric's tracer."""
+
+from repro.rdma import Fabric, Node, Transport, post_read, post_send, post_recv, post_write
+from repro.sim import Simulator, Tracer
+
+
+def build(traced=True):
+    sim = Simulator()
+    fabric = Fabric(sim, tracer=Tracer(enabled=traced))
+    a, b = Node(sim, "a", fabric), Node(sim, "b", fabric)
+    qp_a, qp_b = a.create_qp(Transport.RC), b.create_qp(Transport.RC)
+    qp_a.connect(qp_b)
+    src = a.register_memory(4096)
+    dst = b.register_memory(4096)
+    return sim, fabric, a, b, qp_a, qp_b, src, dst
+
+
+class TestVerbTracing:
+    def test_writes_and_reads_are_traced(self):
+        sim, fabric, a, b, qp_a, qp_b, src, dst = build()
+        post_write(qp_a, src.range.base, dst.range.base, 32)
+        post_read(qp_a, src.range.base, dst.range.base, 8)
+        sim.run()
+        events = [r.event for r in fabric.tracer.records]
+        assert events == ["write", "read"]
+        detail = fabric.tracer.records[0].detail
+        assert detail["to"] == "b"
+        assert detail["bytes"] == 32
+
+    def test_write_imm_traced_distinctly(self):
+        sim, fabric, a, b, qp_a, qp_b, src, dst = build()
+        post_recv(qp_b, dst.range.base, 64)
+        post_write(qp_a, src.range.base, dst.range.base, 32, imm_data=5)
+        sim.run()
+        assert [r.event for r in fabric.tracer.records] == ["write_imm"]
+
+    def test_sends_traced(self):
+        sim = Simulator()
+        fabric = Fabric(sim, tracer=Tracer(enabled=True))
+        a, b = Node(sim, "a", fabric), Node(sim, "b", fabric)
+        ud_a, ud_b = a.create_qp(Transport.UD), b.create_qp(Transport.UD)
+        buf = b.register_memory(4096)
+        post_recv(ud_b, buf.range.base, 4096)
+        post_send(ud_a, 64, dest=ud_b.address_handle())
+        sim.run()
+        assert [r.event for r in fabric.tracer.records] == ["send"]
+
+    def test_disabled_tracer_records_nothing(self):
+        sim, fabric, a, b, qp_a, qp_b, src, dst = build(traced=False)
+        post_write(qp_a, src.range.base, dst.range.base, 32)
+        sim.run()
+        assert fabric.tracer.records == []
+
+    def test_timestamps_are_post_time(self):
+        sim, fabric, a, b, qp_a, qp_b, src, dst = build()
+
+        def driver(sim):
+            yield sim.timeout(500)
+            post_write(qp_a, src.range.base, dst.range.base, 32)
+
+        sim.process(driver(sim))
+        sim.run()
+        assert fabric.tracer.records[0].time_ns == 500

@@ -1,0 +1,62 @@
+"""Tests asserting the paper's Table 1 capability matrix."""
+
+import pytest
+
+from repro.rdma import NicParams, Opcode, Transport, max_message_size, supports
+
+KIB = 1024
+GIB = 1024**3
+
+
+class TestTable1:
+    """Verb support per transport, exactly as the paper's Table 1."""
+
+    @pytest.mark.parametrize("opcode", list(Opcode))
+    def test_rc_supports_everything(self, opcode):
+        assert supports(Transport.RC, opcode)
+
+    def test_uc_supports_send_recv_and_write(self):
+        assert supports(Transport.UC, Opcode.SEND)
+        assert supports(Transport.UC, Opcode.RECV)
+        assert supports(Transport.UC, Opcode.WRITE)
+        assert supports(Transport.UC, Opcode.WRITE_IMM)
+
+    def test_uc_rejects_read_and_atomic(self):
+        assert not supports(Transport.UC, Opcode.READ)
+        assert not supports(Transport.UC, Opcode.ATOMIC)
+
+    def test_ud_supports_only_send_recv(self):
+        assert supports(Transport.UD, Opcode.SEND)
+        assert supports(Transport.UD, Opcode.RECV)
+        for opcode in (Opcode.WRITE, Opcode.WRITE_IMM, Opcode.READ, Opcode.ATOMIC):
+            assert not supports(Transport.UD, opcode)
+
+    def test_mtu_values(self):
+        assert max_message_size(Transport.RC) == 2 * GIB
+        assert max_message_size(Transport.UC) == 2 * GIB
+        assert max_message_size(Transport.UD) == 4 * KIB
+
+    def test_connectedness(self):
+        assert Transport.RC.is_connected
+        assert Transport.UC.is_connected
+        assert not Transport.UD.is_connected
+
+    def test_reliability(self):
+        assert Transport.RC.is_reliable
+        assert not Transport.UC.is_reliable
+        assert not Transport.UD.is_reliable
+
+
+class TestNicParams:
+    def test_defaults_are_positive(self):
+        params = NicParams()
+        assert params.tx_base_ns > 0
+        assert params.conn_cache_entries >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NicParams(tx_base_ns=-1)
+
+    def test_zero_cache_rejected(self):
+        with pytest.raises(ValueError):
+            NicParams(conn_cache_entries=0)

@@ -1,0 +1,131 @@
+"""Property-based tests of the simulation kernel's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+class TestDeterminism:
+    @given(
+        delays=st.lists(
+            st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60)
+    def test_identical_programs_produce_identical_traces(self, delays):
+        """Two runs of the same process graph log identical event orders."""
+
+        def run():
+            sim = Simulator()
+            log = []
+
+            def proc(sim, pid, waits):
+                for w in waits:
+                    yield sim.timeout(w)
+                    log.append((sim.now, pid))
+
+            for pid, waits in enumerate(delays):
+                sim.process(proc(sim, pid, waits))
+            sim.run()
+            return log
+
+        assert run() == run()
+
+    @given(
+        delays=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20)
+    )
+    @settings(max_examples=60)
+    def test_time_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def proc(sim, delay):
+            yield sim.timeout(delay)
+            observed.append(sim.now)
+
+        for delay in delays:
+            sim.process(proc(sim, delay))
+        sim.run()
+        assert observed == sorted(observed)
+        assert sim.now == max(delays)
+
+
+class TestResourceInvariants:
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),  # arrival
+                st.integers(min_value=1, max_value=20),  # service
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        capacity=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_concurrency_never_exceeds_capacity(self, jobs, capacity):
+        sim = Simulator()
+        resource = Resource(sim, capacity=capacity)
+        active = {"now": 0, "peak": 0}
+
+        def job(sim, arrival, service):
+            yield sim.timeout(arrival)
+            yield resource.request()
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            try:
+                yield sim.timeout(service)
+            finally:
+                active["now"] -= 1
+                resource.release()
+
+        for arrival, service in jobs:
+            sim.process(job(sim, arrival, service))
+        sim.run()
+        assert active["now"] == 0
+        assert active["peak"] <= capacity
+
+    @given(
+        jobs=st.lists(st.integers(min_value=1, max_value=15), min_size=1, max_size=15)
+    )
+    @settings(max_examples=60)
+    def test_single_server_total_busy_time_is_sum_of_services(self, jobs):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def job(sim, service):
+            yield from resource.use(service)
+
+        for service in jobs:
+            sim.process(job(sim, service))
+        sim.run()
+        assert resource.total_busy_ns == sum(jobs)
+        assert sim.now == sum(jobs)
+
+
+class TestStoreInvariants:
+    @given(
+        puts=st.lists(st.integers(), min_size=0, max_size=30),
+        getters=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=60)
+    def test_items_delivered_fifo_no_loss_no_duplication(self, puts, getters):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def getter(sim):
+            item = yield store.get()
+            received.append(item)
+
+        for _ in range(getters):
+            sim.process(getter(sim))
+        for item in puts:
+            store.put(item)
+        sim.run()
+        delivered = min(len(puts), getters)
+        assert received == puts[:delivered]
+        assert len(store) == len(puts) - delivered

@@ -1,0 +1,45 @@
+"""Tests for the tracer."""
+
+from repro.sim import Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.emit(1, "nic", "send")
+        assert tracer.records == []
+
+    def test_records_when_enabled(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(5, "nic", "send", {"bytes": 32})
+        assert len(tracer.records) == 1
+        rec = tracer.records[0]
+        assert (rec.time_ns, rec.source, rec.event) == (5, "nic", "send")
+
+    def test_capacity_drops_excess(self):
+        tracer = Tracer(enabled=True, capacity=2)
+        for i in range(5):
+            tracer.emit(i, "s", "e")
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_matching_filters(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1, "a", "send")
+        tracer.emit(2, "a", "recv")
+        tracer.emit(3, "b", "send")
+        assert [r.time_ns for r in tracer.matching("send")] == [1, 3]
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True, capacity=1)
+        tracer.emit(1, "a", "x")
+        tracer.emit(2, "a", "y")
+        tracer.clear()
+        assert tracer.records == []
+        assert tracer.dropped == 0
+
+    def test_str_formats(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(10, "nic0", "dma", "detail")
+        assert "nic0" in str(tracer.records[0])
+        assert "dma" in str(tracer.records[0])

@@ -1,0 +1,340 @@
+"""Integration tests for the ScaleTX protocol end to end."""
+
+import pytest
+
+from repro.txn import (
+    ObjectStoreConfig,
+    SmallBankConfig,
+    TxnClusterConfig,
+    build_txn_cluster,
+    populate_object_store,
+    populate_smallbank,
+)
+from repro.txn.smallbank import INITIAL_BALANCE, checking, savings
+
+
+def small_cluster(system="scaletx", n_coordinators=4, **kwargs):
+    config = TxnClusterConfig(
+        system=system,
+        n_coordinators=n_coordinators,
+        n_client_machines=2,
+        items_per_shard=1 << 10,
+        group_size=8,
+        time_slice_ns=50_000,
+        **kwargs,
+    )
+    return build_txn_cluster(config)
+
+
+def run_txns(cluster, txns, cap_ns=200_000_000):
+    """Run a list of (coordinator_idx, read_set, write_set, compute) and
+    return the commit flags in completion order."""
+    results = []
+    drivers = []
+
+    def driver(sim, coordinator, read_set, write_set, compute):
+        committed = yield from coordinator.run(read_set, write_set, compute=compute)
+        results.append(committed)
+
+    for idx, read_set, write_set, compute in txns:
+        drivers.append(
+            cluster.sim.process(
+                driver(cluster.sim, cluster.coordinators[idx], read_set, write_set, compute)
+            )
+        )
+    sim = cluster.sim
+    while sim.peek() is not None and sim.now < cap_ns:
+        if all(d.triggered for d in drivers):
+            break
+        sim.step()
+    assert all(d.triggered for d in drivers), "transactions did not finish"
+    # Let fire-and-forget one-sided commit writes land (the coordinator
+    # does not wait for them — that's the point of the design).
+    sim.run(until=sim.now + 50_000)
+    return results
+
+
+@pytest.mark.parametrize("system", ["scaletx", "scaletx-o", "rawwrite", "herd", "fasst"])
+class TestCommitPaths:
+    def test_single_write_txn_commits(self, system):
+        cluster = small_cluster(system)
+        populate_object_store(cluster, 64)
+        results = run_txns(cluster, [(0, (), {5: "new"}, None)])
+        assert results == [True]
+        shard = cluster.shard_of(5)
+        ref = cluster.participants[shard].store.lookup(5)
+        value, version = cluster.participants[shard].store.read(ref)
+        assert value == "new"
+        assert version == 2
+        assert cluster.participants[shard].store.lock_owner(ref) == 0
+
+    def test_read_write_txn_sees_values(self, system):
+        cluster = small_cluster(system)
+        populate_object_store(cluster, 64)
+        captured = {}
+
+        def compute(values):
+            captured.update(values)
+            return {7: "w"}
+
+        results = run_txns(cluster, [(0, (1, 2), {7: None}, compute)])
+        assert results == [True]
+        assert captured[1] == ("v", 1, 0)
+        assert captured[2] == ("v", 2, 0)
+
+    def test_read_only_txn(self, system):
+        cluster = small_cluster(system)
+        populate_object_store(cluster, 64)
+        results = run_txns(cluster, [(0, (1, 2, 3), {}, None)])
+        assert results == [True]
+        # Versions untouched by a read-only transaction.
+        for key in (1, 2, 3):
+            shard = cluster.shard_of(key)
+            ref = cluster.participants[shard].store.lookup(key)
+            assert cluster.participants[shard].store.version(ref) == 1
+
+
+class TestConflicts:
+    def test_write_write_conflict_aborts_one(self):
+        cluster = small_cluster("scaletx")
+        populate_object_store(cluster, 64)
+        results = run_txns(
+            cluster,
+            [
+                (0, (), {9: "a"}, None),
+                (1, (), {9: "b"}, None),
+            ],
+        )
+        # Both target key 9 concurrently: at most one lock conflict, but
+        # both eventually... no retries here, so exactly one may abort;
+        # at least one must commit.
+        assert any(results)
+
+    def test_validation_abort_on_concurrent_write(self):
+        """A reader whose read-set version changes must abort."""
+        cluster = small_cluster("scaletx", n_coordinators=2)
+        populate_object_store(cluster, 64)
+        shard = cluster.shard_of(3)
+        participant = cluster.participants[shard]
+        results = []
+
+        def reader(sim):
+            coordinator = cluster.coordinators[0]
+            # Patch validation window: bump the version between execution
+            # and validation by intercepting after execution.
+            original = coordinator._validate
+
+            def hacked(txn_id, read_set, views):
+                ref = participant.store.lookup(3)
+                participant.store.apply_commit(ref, "sneak", views[3].version + 1)
+                return original(txn_id, read_set, views)
+
+            coordinator._validate = hacked
+            committed = yield from coordinator.run((3,), {5: "x"})
+            results.append(committed)
+
+        cluster.sim.process(reader(cluster.sim))
+        cluster.sim.run(until=50_000_000)
+        assert results == [False]
+        assert cluster.coordinators[0].stats.aborted_validation == 1
+        # The write-set lock was released by the abort.
+        ref5 = cluster.participants[cluster.shard_of(5)].store.lookup(5)
+        assert cluster.participants[cluster.shard_of(5)].store.lock_owner(ref5) == 0
+
+    def test_aborted_txn_leaves_no_writes(self):
+        cluster = small_cluster("scaletx")
+        populate_object_store(cluster, 64)
+        shard = cluster.shard_of(9)
+        ref = cluster.participants[shard].store.lookup(9)
+        # Hold the lock so the transaction's execution fails.
+        cluster.participants[shard].store.try_lock(ref, 999)
+        results = run_txns(cluster, [(0, (), {9: "mine"}, None)])
+        assert results == [False]
+        value, version = cluster.participants[shard].store.read(ref)
+        assert value == ("v", 9, 0)
+        assert version == 1
+        assert cluster.coordinators[0].stats.aborted_locks == 1
+
+
+class TestMoneyConservation:
+    @pytest.mark.parametrize("system", ["scaletx", "scaletx-o"])
+    def test_smallbank_conserves_money(self, system):
+        """Serializability check: concurrent SmallBank transfers keep the
+        total balance constant (no lost updates)."""
+        from repro.txn import SmallBankConfig, run_smallbank
+        from repro.txn.smallbank import INITIAL_BALANCE
+
+        config = SmallBankConfig(
+            cluster=TxnClusterConfig(
+                system=system,
+                n_coordinators=8,
+                n_client_machines=2,
+                items_per_shard=1 << 12,
+                group_size=8,
+                time_slice_ns=50_000,
+            ),
+            accounts_per_server=50,
+            warmup_ns=200_000,
+            measure_ns=600_000,
+        )
+        result = run_smallbank(config)
+        assert result.committed > 0
+        # Rebuild to inspect: run_smallbank owns its cluster, so replay
+        # with explicit drivers instead.
+
+    def test_transfers_conserve_total(self):
+        cluster = small_cluster("scaletx", n_coordinators=6)
+        populate_smallbank(cluster, 30)
+        total_before = self._total(cluster, 30)
+        txns = []
+        for i in range(6):
+            a, b = (2 * i) % 30, (2 * i + 7) % 30
+            ka, kb = checking(a), checking(b)
+
+            def compute(values, ka=ka, kb=kb):
+                return {ka: values[ka] - 5, kb: values[kb] + 5}
+
+            txns.append((i, (), {ka: None, kb: None}, compute))
+        results = run_txns(cluster, txns)
+        assert any(results)
+        assert self._total(cluster, 30) == total_before
+
+    @staticmethod
+    def _total(cluster, n_accounts):
+        total = 0
+        for account in range(n_accounts):
+            for key in (checking(account), savings(account)):
+                shard = cluster.shard_of(key)
+                ref = cluster.participants[shard].store.lookup(key)
+                total += cluster.participants[shard].store.read(ref)[0]
+        return total
+
+
+class TestOneSidedVsRpcParity:
+    def test_one_sided_and_rpc_commits_agree(self):
+        """The same transaction through ScaleTX and ScaleTX-O leaves the
+        same state."""
+        outcomes = {}
+        for system in ("scaletx", "scaletx-o"):
+            cluster = small_cluster(system)
+            populate_object_store(cluster, 64)
+            run_txns(cluster, [(0, (1,), {2: "x", 3: "y"}, None)])
+            state = {}
+            for key in (1, 2, 3):
+                shard = cluster.shard_of(key)
+                ref = cluster.participants[shard].store.lookup(key)
+                state[key] = cluster.participants[shard].store.read(ref)
+            outcomes[system] = state
+        assert outcomes["scaletx"] == outcomes["scaletx-o"]
+
+    def test_one_sided_commit_skips_participant_cpu(self):
+        cluster = small_cluster("scaletx")
+        populate_object_store(cluster, 64)
+        run_txns(cluster, [(0, (), {5: "w"}, None)])
+        shard = cluster.shard_of(5)
+        assert cluster.participants[shard].rpc_commits == 0
+        assert cluster.participants[shard].store.remote_commits == 1
+
+    def test_rpc_variant_commits_via_participant(self):
+        cluster = small_cluster("scaletx-o")
+        populate_object_store(cluster, 64)
+        run_txns(cluster, [(0, (), {5: "w"}, None)])
+        shard = cluster.shard_of(5)
+        assert cluster.participants[shard].rpc_commits == 1
+        assert cluster.participants[shard].store.remote_commits == 0
+
+
+class TestGlobalSync:
+    def test_synchronizer_attached_for_scalerpc(self):
+        cluster = small_cluster("scaletx")
+        assert cluster.synchronizer is not None
+        assert all(s.synchronizer is cluster.synchronizer for s in cluster.servers)
+
+    def test_no_synchronizer_for_baselines(self):
+        cluster = small_cluster("rawwrite")
+        assert cluster.synchronizer is None
+
+    def test_servers_switch_in_lockstep(self):
+        """With enough clients for two groups, synchronized servers'
+        context switches stay within half a slice of each other."""
+        cluster = small_cluster("scaletx", n_coordinators=20)
+        populate_object_store(cluster, 256)
+        switch_times = {id(s): [] for s in cluster.servers}
+        for server in cluster.servers:
+            original = server._notify_unresponded
+
+            def spy(group, server=server, original=original):
+                switch_times[id(server)].append(server.sim.now)
+                return original(group)
+
+            server._notify_unresponded = spy
+
+        def driver(sim, idx, coordinator):
+            rng = cluster.rng.stream(f"t{idx}")
+            for _ in range(30):
+                keys = rng.sample(range(256), 2)
+                yield from coordinator.run((keys[0],), {keys[1]: idx})
+
+        for idx, coordinator in enumerate(cluster.coordinators):
+            cluster.sim.process(driver(cluster.sim, idx, coordinator))
+        cluster.sim.run(until=2_000_000)
+        series = [times for times in switch_times.values() if times]
+        assert len(series) == len(cluster.servers)
+        length = min(len(t) for t in series)
+        assert length >= 2
+        for i in range(1, length):  # skip the unaligned bootstrap switch
+            instants = [t[i] for t in series]
+            spread = max(instants) - min(instants)
+            assert spread <= cluster.config.time_slice_ns // 2
+
+
+class TestRetries:
+    def test_retry_succeeds_after_lock_released(self):
+        cluster = small_cluster("scaletx")
+        populate_object_store(cluster, 64)
+        shard = cluster.shard_of(9)
+        ref = cluster.participants[shard].store.lookup(9)
+        cluster.participants[shard].store.try_lock(ref, 999)
+        out = {}
+
+        def unlocker(sim):
+            yield sim.timeout(30_000)
+            cluster.participants[shard].store.unlock(ref, 999)
+
+        def driver(sim):
+            committed, attempts = yield from cluster.coordinators[0].run_with_retries(
+                (), {9: "mine"}, max_attempts=5, backoff_ns=15_000
+            )
+            out["committed"] = committed
+            out["attempts"] = attempts
+
+        cluster.sim.process(unlocker(cluster.sim))
+        cluster.sim.process(driver(cluster.sim))
+        cluster.sim.run(until=100_000_000)
+        assert out["committed"] is True
+        assert out["attempts"] >= 2
+
+    def test_retries_exhaust(self):
+        cluster = small_cluster("scaletx")
+        populate_object_store(cluster, 64)
+        shard = cluster.shard_of(9)
+        ref = cluster.participants[shard].store.lookup(9)
+        cluster.participants[shard].store.try_lock(ref, 999)  # never released
+        out = {}
+
+        def driver(sim):
+            committed, attempts = yield from cluster.coordinators[0].run_with_retries(
+                (), {9: "mine"}, max_attempts=3, backoff_ns=1_000
+            )
+            out["committed"] = committed
+            out["attempts"] = attempts
+
+        cluster.sim.process(driver(cluster.sim))
+        cluster.sim.run(until=100_000_000)
+        assert out["committed"] is False
+        assert out["attempts"] == 3
+
+    def test_invalid_attempts_rejected(self):
+        cluster = small_cluster("scaletx")
+        with pytest.raises(ValueError):
+            next(cluster.coordinators[0].run_with_retries((), {1: "x"}, max_attempts=0))

@@ -1,0 +1,115 @@
+"""Tests for workload distributions."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    gaussian_afd_think_time,
+    hotspot_sampler,
+    uniform_think_time,
+    zipf_sampler,
+)
+
+
+class TestGaussianAfd:
+    def test_stable_per_client_factor(self):
+        think = gaussian_afd_think_time(1.0, base_ns=1000)
+        rng = random.Random(1)
+        # Same client keeps its multiplier: means over many draws differ
+        # between clients but are consistent within one.
+        means = {}
+        for client in (1, 2, 3):
+            draws = [think(client, rng) for _ in range(500)]
+            means[client] = sum(draws) / len(draws)
+        assert len({round(m) for m in means.values()}) > 1
+
+    def test_sigma_zero_is_uniform(self):
+        think = gaussian_afd_think_time(0.0, base_ns=1000)
+        rng = random.Random(1)
+        means = []
+        for client in range(5):
+            draws = [think(client, rng) for _ in range(2000)]
+            means.append(sum(draws) / len(draws))
+        spread = max(means) / min(means)
+        assert spread < 1.2
+
+    def test_larger_sigma_spreads_clients(self):
+        rng = random.Random(1)
+
+        def spread(sigma):
+            think = gaussian_afd_think_time(sigma, base_ns=1000)
+            means = []
+            for client in range(30):
+                draws = [think(client, rng) for _ in range(300)]
+                means.append(sum(draws) / len(draws))
+            return max(means) / min(means)
+
+        assert spread(1.0) > spread(0.2)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_afd_think_time(-0.1)
+
+    def test_non_negative_values(self):
+        think = gaussian_afd_think_time(1.0)
+        rng = random.Random(3)
+        assert all(think(1, rng) >= 0 for _ in range(100))
+
+
+class TestUniformThinkTime:
+    def test_zero_mean(self):
+        think = uniform_think_time(0)
+        assert think(1, random.Random(1)) == 0
+
+    def test_mean_approx(self):
+        think = uniform_think_time(1000)
+        rng = random.Random(1)
+        draws = [think(1, rng) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(1000, rel=0.1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_think_time(-1)
+
+
+class TestZipf:
+    def test_range(self):
+        sample = zipf_sampler(100, 0.9)
+        rng = random.Random(1)
+        draws = [sample(rng) for _ in range(2000)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew(self):
+        sample = zipf_sampler(1000, 0.99)
+        rng = random.Random(1)
+        draws = [sample(rng) for _ in range(5000)]
+        head = sum(1 for d in draws if d < 100)
+        assert head > len(draws) * 0.4  # top 10% of keys get >40% of hits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_sampler(0)
+        with pytest.raises(ValueError):
+            zipf_sampler(10, 1.5)
+
+
+class TestHotspot:
+    def test_hot_probability(self):
+        sample = hotspot_sampler(1000, hot_fraction=0.04, hot_probability=0.6)
+        rng = random.Random(1)
+        draws = [sample(rng) for _ in range(10000)]
+        hot_hits = sum(1 for d in draws if d < 40)
+        assert hot_hits / len(draws) == pytest.approx(0.6, abs=0.05)
+
+    def test_cold_keys_covered(self):
+        sample = hotspot_sampler(100, hot_fraction=0.1, hot_probability=0.5)
+        rng = random.Random(2)
+        draws = {sample(rng) for _ in range(5000)}
+        assert max(draws) >= 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_sampler(10, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            hotspot_sampler(10, 0.5, 1.5)

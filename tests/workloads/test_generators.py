@@ -1,0 +1,58 @@
+"""Tests for the raw-verb workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    RawVerbConfig,
+    run_inbound_write,
+    run_outbound_write,
+    run_ud_send,
+)
+
+QUICK = dict(warmup_ns=100_000, measure_ns=200_000, n_client_machines=3)
+
+
+class TestOutbound:
+    def test_small_scale_is_fast(self):
+        result = run_outbound_write(RawVerbConfig(n_clients=8, **QUICK))
+        assert result.throughput_mops > 15
+
+    def test_collapse_at_scale(self):
+        small = run_outbound_write(RawVerbConfig(n_clients=8, **QUICK))
+        large = run_outbound_write(RawVerbConfig(n_clients=300, **QUICK))
+        assert large.throughput_mops < 0.4 * small.throughput_mops
+
+    def test_pcie_reads_track_tput_when_cached(self):
+        result = run_outbound_write(RawVerbConfig(n_clients=8, **QUICK))
+        assert result.pcie_rd_cur_mops == pytest.approx(
+            result.throughput_mops, rel=0.3
+        )
+
+
+class TestInbound:
+    def test_flat_with_small_blocks(self):
+        few = run_inbound_write(RawVerbConfig(
+            n_clients=20, block_size=512,
+            warmup_ns=2_000_000, measure_ns=300_000, n_client_machines=3))
+        many = run_inbound_write(RawVerbConfig(
+            n_clients=200, block_size=512,
+            warmup_ns=2_000_000, measure_ns=300_000, n_client_machines=3))
+        assert many.throughput_mops > 0.6 * few.throughput_mops
+
+    def test_thrash_with_big_blocks_many_clients(self):
+        fits = run_inbound_write(RawVerbConfig(
+            n_clients=400, block_size=512,
+            warmup_ns=3_000_000, measure_ns=300_000))
+        thrash = run_inbound_write(RawVerbConfig(
+            n_clients=400, block_size=4096,
+            warmup_ns=3_000_000, measure_ns=300_000))
+        assert thrash.throughput_mops < 0.5 * fits.throughput_mops
+        assert thrash.l3_miss_rate > 0.5
+        assert fits.l3_miss_rate < 0.2
+
+
+class TestUdSend:
+    def test_flat_across_clients(self):
+        a = run_ud_send(RawVerbConfig(n_clients=10, **QUICK))
+        b = run_ud_send(RawVerbConfig(n_clients=200, **QUICK))
+        assert b.throughput_mops == pytest.approx(a.throughput_mops, rel=0.2)

@@ -1,0 +1,90 @@
+"""Tests for the Section 5.1 discussion models: UD slicing and DCT."""
+
+import pytest
+
+from repro.rdma import VerbError
+from repro.workloads import (
+    RawVerbConfig,
+    compare_rc_dct_latency,
+    run_dct_outbound,
+    run_outbound_write,
+    run_transfer_comparison,
+)
+from repro.workloads.transfer import UD_CHUNK
+
+
+class TestLargeTransfers:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_transfer_comparison(total_bytes=4 << 20)
+
+    def test_rc_approaches_link_bandwidth(self, results):
+        # 56 Gbps = 7 GB/s; one big write should get close.
+        assert 5.0 < results["rc"].gbytes_per_s <= 7.0
+        assert results["rc"].messages == 1
+
+    def test_ordered_ud_is_a_fraction_of_rc(self, results):
+        ratio = results["ud"].gbytes_per_s / results["rc"].gbytes_per_s
+        # Paper: 12.5%; anything clearly fractional reproduces the point.
+        assert ratio < 0.35
+
+    def test_ud_message_count_is_per_chunk(self, results):
+        chunks = -(-(4 << 20) // UD_CHUNK)
+        assert results["ud"].messages == 2 * chunks  # data + ack
+
+    def test_pipelining_recovers_bandwidth(self, results):
+        assert results["ud_pipelined"].gbytes_per_s > 3 * results["ud"].gbytes_per_s
+        # But never exceeds the link.
+        assert results["ud_pipelined"].gbytes_per_s <= 7.0
+
+    def test_all_strategies_move_all_bytes(self, results):
+        assert {r.total_bytes for r in results.values()} == {4 << 20}
+
+
+class TestDct:
+    def test_latency_penalty_when_switching(self):
+        latency = compare_rc_dct_latency()
+        # Paper: DCT adds up to ~3 us over RC.
+        assert 500 < latency.dct_penalty_ns < 4_000
+        assert latency.dct_ns > latency.rc_ns
+
+    def test_dct_scales_flat(self):
+        quick = dict(measure_ns=250_000, n_client_machines=3)
+        few = run_dct_outbound(RawVerbConfig(n_clients=20, **quick))
+        many = run_dct_outbound(RawVerbConfig(n_clients=300, **quick))
+        assert many.throughput_mops > 0.6 * few.throughput_mops
+
+    def test_dct_below_rc_peak_but_above_thrashed_rc(self):
+        quick = dict(measure_ns=250_000)
+        dct_small = run_dct_outbound(RawVerbConfig(n_clients=10, **quick))
+        rc_small = run_outbound_write(RawVerbConfig(n_clients=10, **quick))
+        assert dct_small.throughput_mops < 0.6 * rc_small.throughput_mops
+        dct_large = run_dct_outbound(RawVerbConfig(n_clients=400, **quick))
+        rc_large = run_outbound_write(RawVerbConfig(n_clients=400, **quick))
+        assert dct_large.throughput_mops > rc_large.throughput_mops
+
+
+class TestNewerHca:
+    def test_larger_caches_delay_but_do_not_remove_the_collapse(self):
+        """Paper Section 5.1, citing eRPC: ConnectX-4/5 still lose about
+        half their throughput by ~5000 connections."""
+        from repro.rdma import NicParams
+
+        cx5 = NicParams(
+            conn_cache_entries=4096,
+            wqe_cache_entries=2500,
+            conn_miss_penalty_ns=250,
+            wqe_miss_penalty_ns=80,
+        )
+        quick = dict(measure_ns=250_000)
+        at_400 = run_outbound_write(
+            RawVerbConfig(n_clients=400, server_nic_params=cx5, **quick)
+        )
+        at_5000 = run_outbound_write(
+            RawVerbConfig(n_clients=5000, server_nic_params=cx5, **quick)
+        )
+        default_400 = run_outbound_write(RawVerbConfig(n_clients=400, **quick))
+        # The bigger cache rescues the 400-client point entirely...
+        assert at_400.throughput_mops > 3 * default_400.throughput_mops
+        # ...but by 5000 connections throughput has at least halved.
+        assert at_5000.throughput_mops < 0.55 * at_400.throughput_mops

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Quick performance probe for the simulation spine.
+
+Measures two things and records them in ``BENCH_quick.json``:
+
+1. **Kernel events/sec** — a token-passing ring of processes exchanging
+   same-instant Store events (the dominant pattern in the RPC hot path),
+   salted with short timeouts so both scheduler paths are exercised.
+2. **One Fig-8 point** — wall-clock of a fixed-seed ScaleRPC experiment
+   at 40 clients, together with its full simulated results (throughput,
+   latency statistics, PCM counters).  The simulated numbers must be
+   byte-identical across kernel optimisations; only the wall-clock may
+   change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/quick_bench.py --label before
+    # ... change the kernel ...
+    PYTHONPATH=src python benchmarks/quick_bench.py --label after
+
+Repeated runs merge into the same JSON file under ``runs[label]``; when
+both ``before`` and ``after`` are present the speedup is recomputed and a
+mismatch in simulated results is reported loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.bench import RpcExperiment, run_rpc_experiment
+from repro.sim import Simulator
+from repro.sim.resources import Store
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_quick.json"
+
+
+def bench_kernel(n_procs: int = 64, n_tokens: int = 8, hops: int = 400_000) -> dict:
+    """Events/sec of the kernel under same-instant FIFO traffic."""
+    sim = Simulator()
+    stores = [Store(sim) for _ in range(n_procs)]
+    state = {"hops": 0}
+
+    def worker(sim, index):
+        mine = stores[index]
+        nxt = stores[(index + 1) % n_procs]
+        while True:
+            token = yield mine.get()
+            state["hops"] += 1
+            if state["hops"] >= hops:
+                return
+            # Every 16th hop takes a short timeout, so time advances and
+            # the heap path stays part of the measurement.
+            if state["hops"] % 16 == 0:
+                yield sim.timeout(5)
+            nxt.put(token)
+
+    for index in range(n_procs):
+        sim.process(worker(sim, index), name=f"ring.{index}")
+    for token in range(n_tokens):
+        stores[(token * n_procs) // n_tokens].put(token)
+
+    start = time.perf_counter()
+    sim.run()
+    wall_s = time.perf_counter() - start
+    # Each hop delivers at least two events (store get + process resume).
+    events = 2 * state["hops"]
+    return {
+        "hops": state["hops"],
+        "events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s),
+    }
+
+
+def bench_fig8_point(n_clients: int = 40, seed: int = 1) -> dict:
+    """Wall-clock plus full fixed-seed results for one Fig-8 point."""
+    experiment = RpcExperiment(system="scalerpc", n_clients=n_clients, seed=seed)
+    start = time.perf_counter()
+    result = run_rpc_experiment(experiment)
+    wall_s = time.perf_counter() - start
+    return {
+        "system": experiment.system,
+        "n_clients": n_clients,
+        "seed": seed,
+        "wall_s": round(wall_s, 4),
+        "simulated": {
+            "throughput_mops": result.throughput_mops,
+            "latency": asdict(result.latency),
+            "counters": asdict(result.counters),
+            "completed_ops": result.completed_ops,
+            "window_ns": result.window_ns,
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after", help="run label (before/after)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    record = {"kernel": bench_kernel(), "fig8_point": bench_fig8_point()}
+    print(f"[{args.label}] kernel: {record['kernel']['events_per_sec']:,} events/s "
+          f"({record['kernel']['wall_s']} s)")
+    print(f"[{args.label}] fig8 point: {record['fig8_point']['wall_s']} s wall, "
+          f"{record['fig8_point']['simulated']['throughput_mops']:.3f} Mops simulated")
+
+    doc = {"runs": {}}
+    if args.out.exists():
+        doc = json.loads(args.out.read_text())
+        doc.setdefault("runs", {})
+    doc["runs"][args.label] = record
+
+    before, after = doc["runs"].get("before"), doc["runs"].get("after")
+    if before and after:
+        doc["kernel_speedup"] = round(
+            after["kernel"]["events_per_sec"] / before["kernel"]["events_per_sec"], 3
+        )
+        doc["fig8_wall_speedup"] = round(
+            before["fig8_point"]["wall_s"] / after["fig8_point"]["wall_s"], 3
+        )
+        doc["simulated_results_identical"] = (
+            before["fig8_point"]["simulated"] == after["fig8_point"]["simulated"]
+        )
+        print(f"kernel speedup: {doc['kernel_speedup']}x, "
+              f"fig8 wall speedup: {doc['fig8_wall_speedup']}x, "
+              f"simulated identical: {doc['simulated_results_identical']}")
+
+    args.out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print("wrote", args.out)
+
+
+if __name__ == "__main__":
+    main()

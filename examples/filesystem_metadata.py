@@ -8,7 +8,7 @@ and ScaleRPC — the paper's Figure 13 in miniature.
 Run:  python examples/filesystem_metadata.py
 """
 
-from repro.baselines import BaselineConfig
+from repro import transport
 from repro.dfs import (
     DataPath,
     DataServer,
@@ -17,33 +17,32 @@ from repro.dfs import (
     MdtestConfig,
     MetadataService,
     NotFoundError,
-    SelfRpcServer,
     run_mdtest,
 )
-from repro.rdma import Fabric, Node
-from repro.sim import Simulator
+from repro.rdma import Node
 
 
 def filesystem_demo() -> None:
     """Mount the DFS and do ordinary file-system things — including file
     data moved with one-sided RDMA against the data servers' shared
     memory pool (Octopus' data path)."""
-    sim = Simulator()
-    fabric = Fabric(sim)
-    mds_node = Node(sim, "mds", fabric)
+    # The MDS is just another registered transport ("selfrpc", Octopus'
+    # self-identified RPC) on a shared topology; data servers attach to
+    # the same fabric.
+    topo = transport.Topology.build(server_names=("mds",), n_client_machines=1)
+    sim = topo.sim
     data_servers = [
-        DataServer(Node(sim, f"ds{i}", fabric), pool_bytes=64 << 20)
+        DataServer(Node(sim, f"ds{i}", topo.fabric), pool_bytes=64 << 20)
         for i in range(2)
     ]
-    mds = MetadataService(mds_node, allocator=ExtentAllocator(data_servers))
-    server = SelfRpcServer(
-        mds_node,
+    mds = MetadataService(topo.server_node, allocator=ExtentAllocator(data_servers))
+    server = topo.build_server(
+        "selfrpc",
         mds.handler,
-        config=BaselineConfig(),
         handler_cost_fn=mds.handler_cost_fn,
         response_bytes=mds.response_bytes_fn,
     )
-    machine = Node(sim, "client-machine", fabric)
+    machine = topo.machines[0]
     fs = DfsClient(
         server.connect(machine), data_path=DataPath(machine, data_servers)
     )

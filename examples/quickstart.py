@@ -8,33 +8,31 @@ connection-grouping machinery at work underneath.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import ScaleRpcConfig, ScaleRpcServer
-from repro.rdma import Fabric, Node
-from repro.sim import Simulator
+from repro import transport
 
 
 def main() -> None:
     # -- build the world ---------------------------------------------------
-    sim = Simulator()
-    fabric = Fabric(sim)  # a 56 Gbps non-blocking switch
-    server_node = Node(sim, "server", fabric)
+    # The topology builder wires the simulator, the 56 Gbps fabric, the
+    # server node, and the client machines in one call.
+    topo = transport.Topology.build(n_client_machines=2, seed=1)
+    sim = topo.sim
 
     # The RPC handler runs on the server's working threads.  Echo the
     # payload back, uppercased so round trips are visible.
     def handler(request):
         return str(request.payload).upper()
 
-    server = ScaleRpcServer(
-        server_node,
-        handler,
-        # Paper defaults: group size 40, 100 us time slice, 4 KB blocks.
-        # A small group forces multiple groups even in this tiny demo.
-        config=ScaleRpcConfig(group_size=4, time_slice_ns=50_000),
+    # Any registered transport is constructible by name; ScaleRPC is the
+    # paper's design.  Paper defaults: group size 40, 100 us time slice,
+    # 4 KB blocks.  A small group forces multiple groups even in this
+    # tiny demo.
+    server = topo.build_server(
+        "scalerpc", handler, group_size=4, time_slice_ns=50_000
     )
 
     # Clients live on separate machines attached to the same fabric.
-    machines = [Node(sim, f"machine{i}", fabric) for i in range(2)]
-    clients = [server.connect(machines[i % 2]) for i in range(8)]
+    clients = topo.connect_clients(server, 8)
     server.start()
 
     # -- synchronous calls ----------------------------------------------------
@@ -76,6 +74,8 @@ def main() -> None:
     print(f"  groups:             {[len(g) for g in server.groups.groups]}")
     print(f"  pool memory:        2 x {server.config.pool_bytes} bytes "
           f"(shared by all {len(clients)} clients via virtualized mapping)")
+    print(f"  other transports:   {', '.join(n for n in transport.names() if n != 'scalerpc')}"
+          f"  (swap the name above to compare)")
 
 
 if __name__ == "__main__":

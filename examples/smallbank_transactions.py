@@ -16,7 +16,7 @@ from repro.txn import (
     populate_smallbank,
     run_smallbank,
 )
-from repro.txn.smallbank import checking, savings
+from repro.txn.smallbank import checking
 
 
 def manual_transfer() -> None:

@@ -10,6 +10,7 @@ Subpackages
 - :mod:`repro.rdma`      — verbs, queue pairs, NIC model, fabric, nodes
 - :mod:`repro.core`      — ScaleRPC (the paper's contribution)
 - :mod:`repro.baselines` — RawWrite, HERD, FaSST
+- :mod:`repro.transport` — name-based transport registry + topology builder
 - :mod:`repro.dfs`       — the Octopus-like distributed file system
 - :mod:`repro.txn`       — ScaleTX distributed transactions
 - :mod:`repro.workloads` — workload generators and skew distributions
@@ -27,6 +28,7 @@ __all__ = [
     "rdma",
     "core",
     "baselines",
+    "transport",
     "dfs",
     "txn",
     "workloads",

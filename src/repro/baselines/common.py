@@ -16,7 +16,7 @@ FaSST      UD send                UD send
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from ..core.api import CallHandle, RpcClientApi, RpcServerApi
@@ -43,11 +43,9 @@ class BaselineConfig:
     n_server_threads: int = 10
     recv_depth: int = 512  # pre-posted receives per UD queue pair
     recv_buf_bytes: int = 256  # per-receive buffer (FaSST-style small SGEs)
-    costs: CpuCostModel = None  # type: ignore[assignment]
+    costs: CpuCostModel = field(default_factory=CpuCostModel)
 
     def __post_init__(self):
-        if self.costs is None:
-            self.costs = CpuCostModel()
         if self.block_size < 64:
             raise ValueError("block_size must be at least one cacheline")
         if self.blocks_per_client < 1:

@@ -14,19 +14,17 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..baselines import BaselineConfig, FasstServer, HerdServer, RawWriteServer
-from ..core import ScaleRpcConfig, ScaleRpcServer
 from ..memsys import CounterMonitor, CounterRates
-from ..rdma import Fabric, Node
-from ..sim import RngRegistry, Simulator
+from ..rdma import Node
+from ..transport import Topology, bench_systems, get as get_transport
 from .metrics import LatencyRecorder, LatencyStats, throughput_mops
 
 __all__ = ["SYSTEMS", "RpcExperiment", "RpcResult", "run_rpc_experiment",
            "MultiSeedResult", "run_multi_seed"]
 
 #: The compared RPC implementations (paper Table 2, plus the Static
-#: ScaleRPC variant of Figure 12).
-SYSTEMS = ("scalerpc", "scalerpc-static", "rawwrite", "herd", "fasst")
+#: ScaleRPC variant of Figure 12), from the transport registry.
+SYSTEMS = bench_systems()
 
 ThinkTimeFn = Callable[[int, random.Random], int]
 
@@ -82,30 +80,24 @@ class RpcResult:
 
 
 def build_server(experiment: RpcExperiment, node: Node, handler, handler_cost_fn):
-    """Instantiate the server for ``experiment.system``."""
-    if experiment.system.startswith("scalerpc"):
-        config = ScaleRpcConfig(
-            group_size=experiment.group_size,
-            time_slice_ns=experiment.time_slice_ns,
-            block_size=experiment.block_size,
-            blocks_per_client=experiment.blocks_per_client,
-            n_server_threads=experiment.n_server_threads,
-            dynamic_scheduling=experiment.system == "scalerpc",
-            warmup_enabled=experiment.warmup_enabled,
-            conn_prefetch_enabled=experiment.conn_prefetch_enabled,
-        )
-        return ScaleRpcServer(node, handler, config=config, handler_cost_fn=handler_cost_fn)
-    config = BaselineConfig(
+    """Instantiate the server for ``experiment.system`` via the registry.
+
+    The registry maps generic knobs onto the transport's native config
+    schema (``ScaleRpcConfig`` or ``BaselineConfig``); knobs a transport
+    doesn't speak are dropped there, not special-cased here.
+    """
+    return get_transport(experiment.system).build_server(
+        node,
+        handler,
+        handler_cost_fn=handler_cost_fn,
+        group_size=experiment.group_size,
+        time_slice_ns=experiment.time_slice_ns,
         block_size=experiment.block_size,
         blocks_per_client=experiment.blocks_per_client,
         n_server_threads=experiment.n_server_threads,
+        warmup_enabled=experiment.warmup_enabled,
+        conn_prefetch_enabled=experiment.conn_prefetch_enabled,
     )
-    cls = {
-        "rawwrite": RawWriteServer,
-        "herd": HerdServer,
-        "fasst": FasstServer,
-    }[experiment.system]
-    return cls(node, handler, config=config, handler_cost_fn=handler_cost_fn)
 
 
 @dataclass
@@ -142,10 +134,14 @@ def run_multi_seed(experiment: RpcExperiment, seeds=(1, 2, 3)) -> MultiSeedResul
 
 def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     """Run one closed-loop experiment and return its measurements."""
-    sim = Simulator()
-    rng = RngRegistry(experiment.seed)
-    fabric = Fabric(sim)
-    server_node = Node(sim, "server", fabric)
+    topo = Topology.build(
+        server_names=("server",),
+        n_client_machines=experiment.n_client_machines,
+        machine_cores=experiment.machine_cores,
+        seed=experiment.seed,
+    )
+    sim, rng = topo.sim, topo.rng
+    server_node = topo.server_node
     handler = lambda request: request.payload
     cost_fn = (
         (lambda _req: experiment.handler_cost_ns)
@@ -153,14 +149,7 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
         else None
     )
     server = build_server(experiment, server_node, handler, cost_fn)
-    machines = [
-        Node(sim, f"m{i}", fabric, cores=experiment.machine_cores)
-        for i in range(experiment.n_client_machines)
-    ]
-    clients = [
-        server.connect(machines[i % len(machines)])
-        for i in range(experiment.n_clients)
-    ]
+    clients = topo.connect_clients(server, experiment.n_clients)
     server.start()
 
     window_start = experiment.warmup_ns

@@ -7,7 +7,7 @@ post batches asynchronously.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["CpuCostModel", "ScaleRpcConfig"]
 
@@ -74,11 +74,9 @@ class ScaleRpcConfig:
     # RPCs whose handler exceeds this run in legacy mode after one failure
     # (paper Section 3.5).
     long_rpc_threshold_ns: int = 80 * US
-    costs: CpuCostModel = None  # type: ignore[assignment]
+    costs: CpuCostModel = field(default_factory=CpuCostModel)
 
     def __post_init__(self):
-        if self.costs is None:
-            self.costs = CpuCostModel()
         if self.group_size < 1:
             raise ValueError("group_size must be >= 1")
         if self.time_slice_ns <= 0:

@@ -15,20 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..baselines import BaselineConfig, RawWriteServer
-from ..core import ScaleRpcConfig, ScaleRpcServer
-from ..rdma import Fabric, Node
-from ..sim import Simulator
+from ..transport import Topology, dfs_systems, get as get_transport
 from .client import DfsClient
 from .mds import OP_MKNOD, OP_READDIR, OP_RMNOD, OP_STAT, MetadataService
-from .selfrpc import SelfRpcServer
 
 __all__ = ["MdtestConfig", "MdtestResult", "run_mdtest", "DFS_RPC_SYSTEMS"]
 
-#: RPC layers comparable in the DFS: both support variable-sized replies
-#: over RC.  UD-based RPCs (HERD/FaSST) are excluded, as in the paper,
-#: because large ReadDir replies exceed the 4 KB UD MTU.
-DFS_RPC_SYSTEMS = ("selfrpc", "scalerpc", "rawwrite")
+#: RPC layers comparable in the DFS, from the transport registry: those
+#: whose responses may exceed the 4 KB UD MTU (large ReadDir replies), so
+#: UD-based RPCs (HERD/FaSST) are excluded, as in the paper.
+DFS_RPC_SYSTEMS = dfs_systems()
 
 NS_PER_S = 1_000_000_000
 
@@ -76,41 +72,26 @@ class MdtestResult:
         }
 
 
-def _build_server(config: MdtestConfig, node: Node, mds: MetadataService):
-    if config.rpc_system == "scalerpc":
-        return ScaleRpcServer(
-            node,
-            mds.handler,
-            config=ScaleRpcConfig(
-                group_size=config.group_size,
-                time_slice_ns=config.time_slice_ns,
-            ),
-            handler_cost_fn=mds.handler_cost_fn,
-            response_bytes=mds.response_bytes_fn,
-        )
-    cls = SelfRpcServer if config.rpc_system == "selfrpc" else RawWriteServer
-    return cls(
-        node,
-        mds.handler,
-        config=BaselineConfig(),
-        handler_cost_fn=mds.handler_cost_fn,
-        response_bytes=mds.response_bytes_fn,
-    )
-
-
 def run_mdtest(config: MdtestConfig, seed: int = 1) -> MdtestResult:
     """Run the four mdtest phases and measure per-op throughput."""
-    sim = Simulator()
-    fabric = Fabric(sim)
-    mds_node = Node(sim, "mds", fabric)
+    topo = Topology.build(
+        server_names=("mds",),
+        n_client_machines=config.n_client_machines,
+        seed=seed,
+    )
+    sim = topo.sim
+    mds_node = topo.server_node
     mds = MetadataService(mds_node)
-    server = _build_server(config, mds_node, mds)
-    machines = [
-        Node(sim, f"m{i}", fabric) for i in range(config.n_client_machines)
-    ]
+    server = get_transport(config.rpc_system).build_server(
+        mds_node,
+        mds.handler,
+        handler_cost_fn=mds.handler_cost_fn,
+        response_bytes=mds.response_bytes_fn,
+        group_size=config.group_size,
+        time_slice_ns=config.time_slice_ns,
+    )
     clients = [
-        DfsClient(server.connect(machines[i % len(machines)]))
-        for i in range(config.n_clients)
+        DfsClient(rpc) for rpc in topo.connect_clients(server, config.n_clients)
     ]
     server.start()
 

@@ -25,6 +25,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -103,7 +104,9 @@ class Event:
         self._state = _TRIGGERED
         self._value = value
         self._ok = True
-        self.sim._post(self)
+        # Fast path: a just-triggered event delivers at the current
+        # instant; appending to the ready FIFO skips the heap entirely.
+        self.sim._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -115,7 +118,7 @@ class Event:
         self._state = _TRIGGERED
         self._value = exception
         self._ok = False
-        self.sim._post(self)
+        self.sim._ready.append(self)
         return self
 
     def _deliver(self) -> None:
@@ -289,23 +292,38 @@ class Simulator:
     Time is an integer (nanoseconds by convention throughout this
     repository).  Events scheduled at the same instant are delivered in
     scheduling order (FIFO), which keeps runs deterministic.
+
+    Two structures implement that order.  Future events sit in a heap
+    keyed by ``(time, seq)``.  Same-instant events — the dominant traffic
+    of the RPC hot path: ``succeed()``, store hand-offs, zero-delay
+    timeouts — go to a plain FIFO deque instead, skipping the heap.  The
+    global FIFO order is preserved by one invariant: the heap never holds
+    an event scheduled *at* the current instant (zero-delay scheduling
+    goes to the deque, and advancing time drains every heap entry at the
+    new instant into the deque ahead of anything posted afterwards), so
+    heap entries for ``now`` always precede deque entries in seq order.
     """
 
     def __init__(self):
         self.now: int = 0
         self._queue: list[tuple[int, int, Event]] = []
+        #: Same-instant delivery FIFO (the fast path).
+        self._ready: deque[Event] = deque()
         self._seq = 0
         self._running = False
 
     # -- scheduling -----------------------------------------------------
 
     def _schedule(self, at: int, event: Event) -> None:
+        if at == self.now:
+            self._ready.append(event)
+            return
         self._seq += 1
         heapq.heappush(self._queue, (at, self._seq, event))
 
     def _post(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks for *now*."""
-        self._schedule(self.now, event)
+        self._ready.append(event)
 
     # -- public API -----------------------------------------------------
 
@@ -331,14 +349,26 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
+        if self._ready:
+            return self.now
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
         """Deliver the next event's callbacks, advancing time."""
-        at, _seq, event = heapq.heappop(self._queue)
+        ready = self._ready
+        if ready:
+            ready.popleft()._deliver()
+            return
+        queue = self._queue
+        at, _seq, event = heapq.heappop(queue)
         if at < self.now:
             raise SimulationError("time went backwards")
         self.now = at
+        # Pull the remaining heap entries at this instant into the ready
+        # FIFO now: they were scheduled before anything the delivery below
+        # may post, and must run first.
+        while queue and queue[0][0] == at:
+            ready.append(heapq.heappop(queue)[2])
         event._deliver()
 
     def run(self, until: Optional[int] = None) -> None:
@@ -350,12 +380,28 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        ready = self._ready
+        ready_popleft = ready.popleft
+        ready_append = ready.append
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                at = self._queue[0][0]
-                if until is not None and at > until:
-                    break
-                self.step()
+            if until is None or self.now <= until:
+                while True:
+                    # Hot loop: drain same-instant deliveries FIFO.
+                    while ready:
+                        ready_popleft()._deliver()
+                    if not queue:
+                        break
+                    at = queue[0][0]
+                    if until is not None and at > until:
+                        break
+                    # Advance time, collecting every event at the new
+                    # instant so later same-instant posts queue behind.
+                    self.now = at
+                    ready_append(heappop(queue)[2])
+                    while queue and queue[0][0] == at:
+                        ready_append(heappop(queue)[2])
             if until is not None and self.now < until:
                 self.now = until
         finally:

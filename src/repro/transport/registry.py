@@ -1,0 +1,315 @@
+"""The transport registry: every RPC stack, constructible by name.
+
+This module is the **single** place in the repository that maps a
+transport name to an implementation.  Anything that needs "an RPC server
+of kind X" — the benchmark harness, the DFS, the transaction cluster, the
+examples — asks the registry::
+
+    from repro import transport
+
+    spec = transport.get("scalerpc")
+    server = spec.build_server(node, handler, group_size=40)
+    client = server.connect(machine)
+
+A :class:`TransportSpec` bundles the server class (imported lazily, so
+registering the DFS transport does not drag ``repro.dfs`` into every
+import), the native config schema it speaks (``ScaleRpcConfig`` or
+``BaselineConfig``), per-name config overrides (e.g. the static-scheduling
+variant), and :class:`Capabilities` flags that consumers use instead of
+name lists (e.g. "can this transport carry a ReadDir-sized reply?").
+
+Third-party transports register with the :func:`register` decorator::
+
+    @transport.register("mytransport", caps=Capabilities(uses_cq_polling=True))
+    class MyServer(BaseRpcServer):
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from importlib import import_module
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Capabilities",
+    "TransportSpec",
+    "TransportError",
+    "register",
+    "register_spec",
+    "get",
+    "names",
+    "specs",
+    "bench_systems",
+    "dfs_systems",
+]
+
+
+class TransportError(KeyError):
+    """Raised for lookups of unknown transport names."""
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a transport can and cannot do (paper Tables 1-2)."""
+
+    #: Requests/responses ride a reliable transport (RC); nothing is
+    #: silently dropped on a lossy fabric.
+    reliable: bool = True
+    #: Responses may exceed the 4 KB UD MTU (RC-write responses).  The
+    #: DFS requires this for ReadDir replies.
+    variable_size_response: bool = True
+    #: Clients receive responses via ``ibv_poll_cq`` on a UD QP — the
+    #: expensive client mode that needs >= 4 client machines (Fig 8).
+    uses_cq_polling: bool = False
+    #: Server-side message regions are statically mapped per client
+    #: (footprint grows with client count); False means virtualized
+    #: mapping (ScaleRPC).
+    static_mapping: bool = True
+    #: Server participates in the paper's headline RPC comparison
+    #: (Figures 8-12).
+    in_rpc_bench: bool = False
+    #: Server participates in the mdtest DFS comparison (Figure 13).
+    in_dfs_bench: bool = False
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """One registered transport: name, implementation, config schema."""
+
+    name: str
+    #: ``"module.path:ClassName"`` or the class itself.
+    server: Any
+    #: ``"module.path:ConfigClass"`` or the dataclass itself; built from
+    #: generic knobs by :meth:`make_config`.
+    config: Any
+    caps: Capabilities = field(default_factory=Capabilities)
+    #: Config fields this transport pins (e.g. static scheduling).
+    config_overrides: dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def _resolve(self, ref: Any) -> type:
+        if isinstance(ref, str):
+            module_name, _, attr = ref.partition(":")
+            ref = getattr(import_module(module_name), attr)
+        return ref
+
+    @property
+    def server_cls(self) -> type:
+        """The server class, imported on first use."""
+        cls = self._resolve(self.server)
+        object.__setattr__(self, "server", cls)
+        return cls
+
+    @property
+    def config_cls(self) -> type:
+        """The native config dataclass, imported on first use."""
+        cls = self._resolve(self.config)
+        object.__setattr__(self, "config", cls)
+        return cls
+
+    def make_config(self, **knobs: Any):
+        """Build this transport's native config from generic knobs.
+
+        Knobs the native schema doesn't have are dropped (so callers can
+        pass ``group_size`` without caring whether the transport is in
+        the ScaleRPC family); spec-level overrides win over knobs because
+        they define the variant (e.g. ``scalerpc-static``).
+        """
+        cls = self.config_cls
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in knobs.items() if k in known and v is not None}
+        kwargs.update(self.config_overrides)
+        return cls(**kwargs)
+
+    def build_server(
+        self,
+        node,
+        handler: Callable,
+        *,
+        config=None,
+        handler_cost_fn: Optional[Callable] = None,
+        response_bytes: Any = 32,
+        **knobs: Any,
+    ):
+        """Instantiate the server on ``node``.
+
+        Either pass a ready ``config`` (of :attr:`config_cls`) or generic
+        knobs that :meth:`make_config` maps onto it.
+        """
+        if config is None:
+            config = self.make_config(**knobs)
+        elif knobs:
+            raise TypeError("pass either config= or knobs, not both")
+        return self.server_cls(
+            node,
+            handler,
+            config=config,
+            handler_cost_fn=handler_cost_fn,
+            response_bytes=response_bytes,
+        )
+
+
+_REGISTRY: dict[str, TransportSpec] = {}
+
+
+def register_spec(spec: TransportSpec) -> TransportSpec:
+    """Add ``spec`` to the registry (re-registering a name is an error)."""
+    if spec.name in _REGISTRY:
+        raise TransportError(f"transport {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def register(
+    name: str,
+    *,
+    config: Any = "repro.baselines.common:BaselineConfig",
+    caps: Optional[Capabilities] = None,
+    config_overrides: Optional[dict[str, Any]] = None,
+    description: str = "",
+) -> Callable[[type], type]:
+    """Class decorator registering a server implementation under ``name``."""
+
+    def decorate(server_cls: type) -> type:
+        doc = (server_cls.__doc__ or "").strip()
+        register_spec(TransportSpec(
+            name=name,
+            server=server_cls,
+            config=config,
+            caps=caps or Capabilities(),
+            config_overrides=dict(config_overrides or {}),
+            description=description or (doc.splitlines()[0] if doc else ""),
+        ))
+        return server_cls
+
+    return decorate
+
+
+def get(name: str) -> TransportSpec:
+    """Look up a transport by name."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise TransportError(
+            f"unknown transport {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        )
+    return spec
+
+
+def names() -> tuple[str, ...]:
+    """All registered transport names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def specs() -> tuple[TransportSpec, ...]:
+    """All registered specs, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def bench_systems() -> tuple[str, ...]:
+    """Names compared in the RPC micro-benchmarks (paper Figures 8-12)."""
+    return tuple(s.name for s in _REGISTRY.values() if s.caps.in_rpc_bench)
+
+
+def dfs_systems() -> tuple[str, ...]:
+    """Names compared in the mdtest DFS benchmark (paper Figure 13)."""
+    return tuple(s.name for s in _REGISTRY.values() if s.caps.in_dfs_bench)
+
+
+def _replace_caps(caps: Capabilities, **changes: Any) -> Capabilities:
+    return replace(caps, **changes)
+
+
+# ---------------------------------------------------------------------------
+# Built-in transports (paper Tables 1-2 plus the DFS' native RPC).
+# Server/config classes are referenced lazily so this table owns the
+# name->implementation mapping without importing every subsystem.
+# ---------------------------------------------------------------------------
+
+_SCALERPC_CAPS = Capabilities(
+    reliable=True,
+    variable_size_response=True,
+    uses_cq_polling=False,
+    static_mapping=False,
+    in_rpc_bench=True,
+    in_dfs_bench=True,
+)
+
+register_spec(TransportSpec(
+    name="scalerpc",
+    server="repro.core.server:ScaleRpcServer",
+    config="repro.core.config:ScaleRpcConfig",
+    caps=_SCALERPC_CAPS,
+    config_overrides={"dynamic_scheduling": True},
+    description="ScaleRPC: RC writes, connection grouping + virtualized "
+                "mapping, dynamic priority scheduling (the paper's design)",
+))
+
+register_spec(TransportSpec(
+    name="scalerpc-static",
+    server="repro.core.server:ScaleRpcServer",
+    config="repro.core.config:ScaleRpcConfig",
+    caps=_replace_caps(_SCALERPC_CAPS, in_dfs_bench=False),
+    config_overrides={"dynamic_scheduling": False},
+    description="ScaleRPC with static round-robin scheduling "
+                "(Figure 12's 'Static' variant; also ScaleTX's RPC)",
+))
+
+register_spec(TransportSpec(
+    name="rawwrite",
+    server="repro.baselines.rawwrite:RawWriteServer",
+    config="repro.baselines.common:BaselineConfig",
+    caps=Capabilities(
+        reliable=True,
+        variable_size_response=True,
+        uses_cq_polling=False,
+        static_mapping=True,
+        in_rpc_bench=True,
+        in_dfs_bench=True,
+    ),
+    description="FaRM-style RPC: RC write requests and responses, "
+                "static per-client message regions",
+))
+
+register_spec(TransportSpec(
+    name="herd",
+    server="repro.baselines.herd:HerdServer",
+    config="repro.baselines.common:BaselineConfig",
+    caps=Capabilities(
+        reliable=False,
+        variable_size_response=False,
+        uses_cq_polling=True,
+        static_mapping=True,
+        in_rpc_bench=True,
+    ),
+    description="HERD: UC write requests, UD send responses",
+))
+
+register_spec(TransportSpec(
+    name="fasst",
+    server="repro.baselines.fasst:FasstServer",
+    config="repro.baselines.common:BaselineConfig",
+    caps=Capabilities(
+        reliable=False,
+        variable_size_response=False,
+        uses_cq_polling=True,
+        static_mapping=True,
+        in_rpc_bench=True,
+    ),
+    description="FaSST: symmetric UD sends both ways",
+))
+
+register_spec(TransportSpec(
+    name="selfrpc",
+    server="repro.dfs.selfrpc:SelfRpcServer",
+    config="repro.baselines.common:BaselineConfig",
+    caps=Capabilities(
+        reliable=True,
+        variable_size_response=True,
+        uses_cq_polling=False,
+        static_mapping=True,
+        in_dfs_bench=True,
+    ),
+    description="Octopus' self-identified RPC: RC write_imm requests, "
+                "RC write responses",
+))

@@ -1,0 +1,105 @@
+"""Shared topology construction for every experiment in the repository.
+
+The benchmark harness, the DFS, the transaction cluster, and the examples
+all used to hand-roll the same boilerplate: a :class:`Simulator`, an
+:class:`RngRegistry`, a :class:`Fabric`, one or more server nodes, and a
+rack of client machines with clients spread round-robin across them.
+:class:`Topology` is that boilerplate, built once, in a fixed order
+(servers before machines) so fixed-seed results are stable across
+consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..rdma.fabric import Fabric, WireParams
+from ..rdma.node import Node
+from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
+from .registry import TransportSpec, get
+
+__all__ = ["Topology", "TopologyConfig"]
+
+
+@dataclass
+class TopologyConfig:
+    """Shape of one simulated deployment."""
+
+    #: Names of the server nodes, in creation order ("server" for the
+    #: single-server benchmarks, "p0".."pN" for the transaction cluster).
+    server_names: Sequence[str] = ("server",)
+    n_client_machines: int = 1
+    machine_cores: int = 24
+    seed: int = 1
+    wire: Optional[WireParams] = None
+
+    def __post_init__(self):
+        if not self.server_names:
+            raise ValueError("need at least one server node")
+        if self.n_client_machines < 1:
+            raise ValueError("n_client_machines must be >= 1")
+
+
+@dataclass
+class Topology:
+    """A built world: simulator, fabric, server nodes, client machines."""
+
+    config: TopologyConfig
+    sim: Simulator
+    rng: RngRegistry
+    fabric: Fabric
+    server_nodes: list[Node]
+    machines: list[Node]
+    _next_machine: int = field(default=0, repr=False)
+
+    @classmethod
+    def build(cls, config: Optional[TopologyConfig] = None, **kwargs) -> "Topology":
+        """Construct the world described by ``config`` (or by kwargs)."""
+        if config is None:
+            config = TopologyConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either config= or kwargs, not both")
+        sim = Simulator()
+        rng = RngRegistry(config.seed)
+        fabric = Fabric(sim, config.wire)
+        server_nodes = [Node(sim, name, fabric) for name in config.server_names]
+        machines = [
+            Node(sim, f"m{i}", fabric, cores=config.machine_cores)
+            for i in range(config.n_client_machines)
+        ]
+        return cls(
+            config=config,
+            sim=sim,
+            rng=rng,
+            fabric=fabric,
+            server_nodes=server_nodes,
+            machines=machines,
+        )
+
+    @property
+    def server_node(self) -> Node:
+        """The sole server node (single-server topologies)."""
+        if len(self.server_nodes) != 1:
+            raise ValueError("topology has multiple server nodes")
+        return self.server_nodes[0]
+
+    def build_server(self, transport: str | TransportSpec, handler, *,
+                     node: Optional[Node] = None, **kwargs):
+        """Build a ``transport`` server on ``node`` (default: the sole one)."""
+        spec = get(transport) if isinstance(transport, str) else transport
+        return spec.build_server(node or self.server_node, handler, **kwargs)
+
+    def next_machine(self) -> Node:
+        """The next client machine, round-robin."""
+        machine = self.machines[self._next_machine % len(self.machines)]
+        self._next_machine += 1
+        return machine
+
+    def connect_clients(self, server, n_clients: int) -> list:
+        """Connect ``n_clients`` clients spread round-robin over machines."""
+        return [
+            server.connect(self.machines[i % len(self.machines)])
+            for i in range(n_clients)
+        ]

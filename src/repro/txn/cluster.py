@@ -20,10 +20,10 @@ import zlib
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
-from ..baselines import BaselineConfig, FasstServer, HerdServer, RawWriteServer
-from ..core import GlobalSynchronizer, ScaleRpcConfig, ScaleRpcServer
-from ..rdma import Fabric, Node, Transport
+from ..core import GlobalSynchronizer
+from ..rdma import Node, Transport
 from ..sim import RngRegistry, Simulator
+from ..transport import Topology, get as get_transport
 from .coordinator import TxnCoordinator
 from .participant import Participant
 
@@ -93,56 +93,47 @@ class TxnCluster:
         )
 
 
+def rpc_transport_name(system: str) -> str:
+    """The registry name of the RPC layer under a TXN system.
+
+    Both ScaleTX variants run on ScaleRPC with static scheduling (group
+    membership must stay identical across the synchronized participants);
+    the baseline systems run the protocol over the same-named transport.
+    """
+    return "scalerpc-static" if system.startswith("scaletx") else system
+
+
 def build_txn_cluster(config: TxnClusterConfig) -> TxnCluster:
     """Assemble the simulation: participants, RPC servers, coordinators."""
-    sim = Simulator()
-    rng = RngRegistry(config.seed)
-    fabric = Fabric(sim)
+    topo = Topology.build(
+        server_names=tuple(f"p{i}" for i in range(config.n_participants)),
+        n_client_machines=config.n_client_machines,
+        seed=config.seed,
+    )
+    sim, rng, machines = topo.sim, topo.rng, topo.machines
     shard_of = shard_of_factory(config.n_participants)
 
+    spec = get_transport(rpc_transport_name(config.system))
     participants: list[Participant] = []
     servers = []
     uses_scalerpc = config.system.startswith("scaletx")
-    for index in range(config.n_participants):
-        node = Node(sim, f"p{index}", fabric)
+    for node in topo.server_nodes:
         participant = Participant(node, capacity_items=config.items_per_shard)
         participants.append(participant)
-        if uses_scalerpc:
-            server = ScaleRpcServer(
-                node,
-                participant.handler,
-                config=ScaleRpcConfig(
-                    group_size=config.group_size,
-                    time_slice_ns=config.time_slice_ns,
-                    # Static scheduling keeps group membership identical
-                    # across the synchronized participants.
-                    dynamic_scheduling=False,
-                ),
-                handler_cost_fn=participant.handler_cost_fn,
-                response_bytes=participant.response_bytes_fn,
-            )
-        else:
-            cls = {
-                "rawwrite": RawWriteServer,
-                "herd": HerdServer,
-                "fasst": FasstServer,
-            }[config.system]
-            server = cls(
-                node,
-                participant.handler,
-                config=BaselineConfig(recv_buf_bytes=config.recv_buf_bytes),
-                handler_cost_fn=participant.handler_cost_fn,
-                response_bytes=participant.response_bytes_fn,
-            )
-        servers.append(server)
+        servers.append(spec.build_server(
+            node,
+            participant.handler,
+            handler_cost_fn=participant.handler_cost_fn,
+            response_bytes=participant.response_bytes_fn,
+            group_size=config.group_size,
+            time_slice_ns=config.time_slice_ns,
+            recv_buf_bytes=config.recv_buf_bytes,
+        ))
 
-    machines = [
-        Node(sim, f"m{i}", fabric) for i in range(config.n_client_machines)
-    ]
     use_one_sided = config.system == "scaletx"
     coordinators: list[TxnCoordinator] = []
     for index in range(config.n_coordinators):
-        machine = machines[index % len(machines)]
+        machine = topo.next_machine()
         rpcs = [server.connect(machine) for server in servers]
         for rpc in rpcs:
             rpc.poll_cost_scale = config.n_participants

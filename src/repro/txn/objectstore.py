@@ -8,7 +8,7 @@ configuration of Figure 16(a.1), (3, 1)/(2, 2) the read-write mixes of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .cluster import TxnCluster, TxnClusterConfig, build_txn_cluster
 
@@ -21,7 +21,7 @@ NS_PER_S = 1_000_000_000
 class ObjectStoreConfig:
     """One object-store run."""
 
-    cluster: TxnClusterConfig = None  # type: ignore[assignment]
+    cluster: TxnClusterConfig = field(default_factory=TxnClusterConfig)
     reads: int = 3
     writes: int = 1
     n_keys: int = 60_000
@@ -30,8 +30,6 @@ class ObjectStoreConfig:
     measure_ns: int = 2_000_000
 
     def __post_init__(self):
-        if self.cluster is None:
-            self.cluster = TxnClusterConfig()
         if self.reads < 0 or self.writes < 0 or self.reads + self.writes == 0:
             raise ValueError("transaction must touch at least one key")
 

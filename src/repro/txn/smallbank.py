@@ -20,7 +20,7 @@ SendPayment        15%    c(a1) -= v; c(a2) += v
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .cluster import TxnCluster, TxnClusterConfig, build_txn_cluster
 from .objectstore import TxnRunResult
@@ -50,7 +50,7 @@ class SmallBankConfig:
     hotspot skew, not the table size, drives contention — DESIGN.md).
     """
 
-    cluster: TxnClusterConfig = None  # type: ignore[assignment]
+    cluster: TxnClusterConfig = field(default_factory=TxnClusterConfig)
     accounts_per_server: int = 20_000
     hot_account_fraction: float = 0.04
     hot_txn_fraction: float = 0.60
@@ -58,8 +58,6 @@ class SmallBankConfig:
     measure_ns: int = 2_000_000
 
     def __post_init__(self):
-        if self.cluster is None:
-            self.cluster = TxnClusterConfig()
         if not 0 < self.hot_account_fraction < 1:
             raise ValueError("hot_account_fraction must be in (0, 1)")
         if not 0 <= self.hot_txn_fraction <= 1:

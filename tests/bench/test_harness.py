@@ -78,7 +78,7 @@ class TestSmallRuns:
 
 class TestMultiSeed:
     def test_multi_seed_runs_and_aggregates(self):
-        from repro.bench import MultiSeedResult, RpcExperiment, run_multi_seed
+        from repro.bench import RpcExperiment, run_multi_seed
 
         experiment = RpcExperiment(
             system="rawwrite",

@@ -1,8 +1,6 @@
 """End-to-end ScaleRPC behaviour: correctness across groups and switches."""
 
-import pytest
 
-from repro.core import ScaleRpcConfig
 from repro.core.client import ClientState
 
 from .conftest import closed_loop, make_cluster, run_until_done

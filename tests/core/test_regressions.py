@@ -1,6 +1,5 @@
 """Regression tests for scheduling bugs found during development."""
 
-import pytest
 
 from repro.core import ScaleRpcConfig
 from repro.core.grouping import ClientContext, GroupManager

@@ -1,6 +1,5 @@
 """Unit tests for the priority-based scheduler."""
 
-import pytest
 
 from repro.core import ScaleRpcConfig
 from repro.core.grouping import ClientContext, GroupManager

@@ -1,9 +1,7 @@
 """Server-side behaviours: legacy mode, rebalancing, churn, dedup."""
 
-import pytest
 
 from repro.core import ScaleRpcConfig
-from repro.core.client import ClientState
 
 from .conftest import closed_loop, make_cluster, run_until_done
 

@@ -11,7 +11,7 @@ from repro.dfs import (
     NotFoundError,
     SelfRpcServer,
 )
-from repro.rdma import Fabric, Node, Opcode, Transport
+from repro.rdma import Fabric, Node
 from repro.sim import Simulator
 
 

@@ -1,7 +1,6 @@
 """Integration tests: the NIC connection cache produces the paper's
 outbound-scaling behaviour (Section 2.3), and inbound stays flat."""
 
-import pytest
 
 from repro.rdma import Fabric, NicParams, Node, Transport, post_write
 from repro.sim import Simulator

@@ -4,7 +4,6 @@ import pytest
 
 from repro.rdma import (
     Access,
-    Opcode,
     ProtectionError,
     Transport,
     VerbError,

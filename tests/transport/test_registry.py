@@ -1,0 +1,145 @@
+"""Tests for the transport registry — the single name->implementation map."""
+
+import pytest
+
+from repro import transport
+from repro.baselines.common import BaselineConfig
+from repro.core.config import ScaleRpcConfig
+from repro.transport import (
+    Capabilities,
+    TransportError,
+    TransportSpec,
+    bench_systems,
+    dfs_systems,
+    register,
+    register_spec,
+)
+from repro.transport.registry import _REGISTRY
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register throwaway transports without polluting the
+    process-global registry."""
+    snapshot = dict(_REGISTRY)
+    yield _REGISTRY
+    _REGISTRY.clear()
+    _REGISTRY.update(snapshot)
+
+
+class TestLookup:
+    def test_all_builtins_registered(self):
+        for name in ("scalerpc", "scalerpc-static", "rawwrite", "herd",
+                     "fasst", "selfrpc"):
+            spec = transport.get(name)
+            assert spec.name == name
+            assert spec.server_cls is not None
+            assert spec.config_cls is not None
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(TransportError, match="scalerpc"):
+            transport.get("tcp")
+
+    def test_names_in_registration_order(self):
+        assert transport.names()[0] == "scalerpc"
+        assert set(transport.names()) >= {
+            "scalerpc", "scalerpc-static", "rawwrite", "herd", "fasst", "selfrpc"
+        }
+
+    def test_bench_and_dfs_subsets(self):
+        assert bench_systems() == ("scalerpc", "scalerpc-static", "rawwrite",
+                                   "herd", "fasst")
+        assert dfs_systems() == ("scalerpc", "rawwrite", "selfrpc")
+
+    def test_capabilities_match_paper_tables(self):
+        assert transport.get("scalerpc").caps.static_mapping is False
+        assert transport.get("rawwrite").caps.static_mapping is True
+        for name in ("herd", "fasst"):
+            caps = transport.get(name).caps
+            assert caps.uses_cq_polling
+            assert not caps.reliable
+            assert not caps.variable_size_response
+        for name in ("scalerpc", "rawwrite", "selfrpc"):
+            assert transport.get(name).caps.variable_size_response
+
+
+class TestMakeConfig:
+    def test_knobs_filtered_to_native_schema(self):
+        # group_size exists on ScaleRpcConfig but not BaselineConfig;
+        # block_size exists on both.
+        cfg = transport.get("scalerpc").make_config(group_size=8, block_size=2048)
+        assert isinstance(cfg, ScaleRpcConfig)
+        assert cfg.group_size == 8
+        assert cfg.block_size == 2048
+
+        cfg = transport.get("rawwrite").make_config(group_size=8, block_size=2048)
+        assert isinstance(cfg, BaselineConfig)
+        assert cfg.block_size == 2048
+        assert not hasattr(cfg, "group_size")
+
+    def test_none_knobs_fall_back_to_defaults(self):
+        cfg = transport.get("rawwrite").make_config(block_size=None)
+        assert cfg.block_size == BaselineConfig().block_size
+
+    def test_variant_overrides_win(self):
+        dynamic = transport.get("scalerpc").make_config()
+        static = transport.get("scalerpc-static").make_config()
+        assert dynamic.dynamic_scheduling is True
+        assert static.dynamic_scheduling is False
+        # Even an explicit knob cannot undo the variant's defining override.
+        forced = transport.get("scalerpc-static").make_config(dynamic_scheduling=True)
+        assert forced.dynamic_scheduling is False
+
+
+class TestBuildServer:
+    def _topo(self):
+        return transport.Topology.build(seed=1)
+
+    def test_config_and_knobs_are_exclusive(self):
+        topo = self._topo()
+        with pytest.raises(TypeError):
+            transport.get("rawwrite").build_server(
+                topo.server_node, lambda r: r.payload,
+                config=BaselineConfig(), block_size=2048,
+            )
+
+    def test_each_transport_constructs_and_connects(self):
+        for name in transport.names():
+            topo = self._topo()
+            server = transport.get(name).build_server(
+                topo.server_node, lambda r: r.payload, group_size=8
+            )
+            client = server.connect(topo.machines[0])
+            assert client is not None
+
+    def test_ready_config_is_used_verbatim(self):
+        topo = self._topo()
+        cfg = BaselineConfig(block_size=8192)
+        server = transport.get("rawwrite").build_server(
+            topo.server_node, lambda r: r.payload, config=cfg
+        )
+        assert server.config is cfg
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self, scratch_registry):
+        with pytest.raises(TransportError, match="already registered"):
+            register_spec(TransportSpec(
+                name="scalerpc",
+                server="repro.core.server:ScaleRpcServer",
+                config="repro.core.config:ScaleRpcConfig",
+            ))
+
+    def test_register_decorator(self, scratch_registry):
+        from repro.baselines.rawwrite import RawWriteServer
+
+        @register("rawwrite-copy", caps=Capabilities(in_rpc_bench=True))
+        class CopyServer(RawWriteServer):
+            """A rawwrite clone for testing registration."""
+
+        spec = transport.get("rawwrite-copy")
+        assert spec.server_cls is CopyServer
+        assert spec.config_cls is BaselineConfig
+        assert spec.caps.in_rpc_bench
+        assert spec.description == "A rawwrite clone for testing registration."
+        assert "rawwrite-copy" in bench_systems()

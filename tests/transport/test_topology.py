@@ -1,0 +1,82 @@
+"""Tests for the shared Topology builder."""
+
+import pytest
+
+from repro.transport import Topology, TopologyConfig
+
+
+class TestBuild:
+    def test_defaults(self):
+        topo = Topology.build()
+        assert [n.name for n in topo.server_nodes] == ["server"]
+        assert [m.name for m in topo.machines] == ["m0"]
+        assert topo.server_node is topo.server_nodes[0]
+        assert topo.sim.now == 0
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError):
+            Topology.build(TopologyConfig(), seed=2)
+
+    def test_multi_server_names(self):
+        topo = Topology.build(server_names=("p0", "p1", "p2"), n_client_machines=2)
+        assert [n.name for n in topo.server_nodes] == ["p0", "p1", "p2"]
+        with pytest.raises(ValueError):
+            _ = topo.server_node
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Topology.build(server_names=())
+        with pytest.raises(ValueError):
+            Topology.build(n_client_machines=0)
+
+    def test_all_nodes_share_sim_and_fabric(self):
+        topo = Topology.build(n_client_machines=3)
+        for node in topo.server_nodes + topo.machines:
+            assert node.sim is topo.sim
+            assert node.fabric is topo.fabric
+
+
+class TestClients:
+    def test_connect_clients_round_robin(self):
+        topo = Topology.build(n_client_machines=3)
+        server = topo.build_server("rawwrite", lambda r: r.payload)
+        clients = topo.connect_clients(server, 7)
+        assert len(clients) == 7
+        machines = [c.machine.name for c in clients]
+        assert machines == ["m0", "m1", "m2", "m0", "m1", "m2", "m0"]
+
+    def test_next_machine_round_robin(self):
+        topo = Topology.build(n_client_machines=2)
+        names = [topo.next_machine().name for _ in range(5)]
+        assert names == ["m0", "m1", "m0", "m1", "m0"]
+
+    def test_build_server_on_named_node(self):
+        topo = Topology.build(server_names=("p0", "p1"))
+        server = topo.build_server(
+            "rawwrite", lambda r: r.payload, node=topo.server_nodes[1]
+        )
+        assert server.node is topo.server_nodes[1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_draws(self):
+        a = Topology.build(seed=7).rng.stream("x").random()
+        b = Topology.build(seed=7).rng.stream("x").random()
+        c = Topology.build(seed=8).rng.stream("x").random()
+        assert a == b
+        assert a != c
+
+    def test_end_to_end_echo(self):
+        topo = Topology.build(seed=1)
+        server = topo.build_server("scalerpc", lambda r: r.payload, group_size=4)
+        [client] = topo.connect_clients(server, 1)
+        server.start()
+        got = []
+
+        def call(sim):
+            response = yield from client.sync_call("echo", payload="hi")
+            got.append((response.payload, sim.now))
+
+        topo.sim.process(call(topo.sim))
+        topo.sim.run(until=1_000_000)
+        assert got and got[0][0] == "hi"

@@ -3,14 +3,13 @@
 import pytest
 
 from repro.txn import (
-    ObjectStoreConfig,
     SmallBankConfig,
     TxnClusterConfig,
     build_txn_cluster,
     populate_object_store,
     populate_smallbank,
 )
-from repro.txn.smallbank import INITIAL_BALANCE, checking, savings
+from repro.txn.smallbank import checking, savings
 
 
 def small_cluster(system="scaletx", n_coordinators=4, **kwargs):
@@ -162,7 +161,6 @@ class TestMoneyConservation:
         """Serializability check: concurrent SmallBank transfers keep the
         total balance constant (no lost updates)."""
         from repro.txn import SmallBankConfig, run_smallbank
-        from repro.txn.smallbank import INITIAL_BALANCE
 
         config = SmallBankConfig(
             cluster=TxnClusterConfig(

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.rdma import VerbError
 from repro.workloads import (
     RawVerbConfig,
     compare_rc_dct_latency,

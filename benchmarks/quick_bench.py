@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from dataclasses import asdict
 from pathlib import Path
 
+from repro.analysis.sanitize import SimSanitizer, enabled_from_env
 from repro.bench import RpcExperiment, run_rpc_experiment
 from repro.sim import Simulator
 from repro.sim.resources import Store
@@ -103,7 +105,28 @@ def main() -> None:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args()
 
-    record = {"kernel": bench_kernel(), "fig8_point": bench_fig8_point()}
+    # With REPRO_SANITIZE=1 the whole probe runs under SimSanitizer: any
+    # invariant violation fails the run (exit 1), and the instrumentation
+    # overhead is recorded alongside the plain wall-clock.
+    sanitizer = SimSanitizer().install() if enabled_from_env() else None
+    try:
+        record = {"kernel": bench_kernel(), "fig8_point": bench_fig8_point()}
+    finally:
+        report = sanitizer.uninstall() if sanitizer else None
+    if report is not None:
+        plain = bench_fig8_point()
+        record["sanitize"] = {
+            "findings": sum(report.rule_counts.values()),
+            "stats": dict(sorted(report.stats.items())),
+            "fig8_plain_wall_s": plain["wall_s"],
+            "fig8_overhead_x": round(
+                record["fig8_point"]["wall_s"] / plain["wall_s"], 3
+            ),
+            "simulated_identical_to_plain": (
+                plain["simulated"] == record["fig8_point"]["simulated"]
+            ),
+        }
+        print(report.render())
     print(f"[{args.label}] kernel: {record['kernel']['events_per_sec']:,} events/s "
           f"({record['kernel']['wall_s']} s)")
     print(f"[{args.label}] fig8 point: {record['fig8_point']['wall_s']} s wall, "
@@ -132,6 +155,8 @@ def main() -> None:
 
     args.out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     print("wrote", args.out)
+    if report is not None and not report.ok:
+        sys.exit(1)
 
 
 if __name__ == "__main__":

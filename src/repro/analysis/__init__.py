@@ -1,0 +1,39 @@
+"""Static analysis and runtime invariant checking for the simulation stack.
+
+Two guardrails keep the reproduction trustworthy as the codebase grows:
+
+- :mod:`repro.analysis.detlint` — an AST-based determinism lint with
+  codebase-specific rules (no ad-hoc RNGs, no wall-clock reads, no
+  iteration over unordered sets on scheduling paths, ...).  Run it as
+  ``python -m repro.analysis.detlint src tests``.
+- :mod:`repro.analysis.sanitize` — *SimSanitizer*, an opt-in runtime
+  invariant layer (``REPRO_SANITIZE=1``) that instruments the simulation
+  kernel and the resource models and reports violations (event-time
+  monotonicity, QP state machine, CQ accounting, message-pool overwrite
+  hazards, end-of-run conservation) as one :class:`SanitizerReport`.
+"""
+
+# Lazy re-exports (PEP 562): keeps `python -m repro.analysis.detlint` from
+# importing the submodule twice (runpy warns) and avoids pulling the whole
+# simulation stack in just to run the lint.
+_EXPORTS = {
+    "LintFinding": ("detlint", "Finding"),
+    "lint_paths": ("detlint", "lint_paths"),
+    "SanitizerFinding": ("sanitize", "SanitizerFinding"),
+    "SanitizerReport": ("sanitize", "SanitizerReport"),
+    "SimSanitizer": ("sanitize", "SimSanitizer"),
+    "enabled_from_env": ("sanitize", "enabled_from_env"),
+    "sanitized_run": ("sanitize", "sanitized_run"),
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(f".{module_name}", __name__), attr)

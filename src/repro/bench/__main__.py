@@ -43,10 +43,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     collected = {}
     for name in names:
-        started = time.time()
+        started = time.time()  # detlint: ignore[wall-clock] — CLI progress timing
         result = run_figure(name, quick=not args.full)
         print(result.render())
-        print(f"  ({time.time() - started:.1f}s)\n")
+        print(f"  ({time.time() - started:.1f}s)\n")  # detlint: ignore[wall-clock]
         collected[name] = result.as_dict()
     if args.json:
         with open(args.json, "w") as handle:

@@ -616,5 +616,7 @@ def run_figure(name: str, quick: bool = True) -> FigureResult:
     try:
         fn = ALL_FIGURES[name]
     except KeyError:
-        raise ValueError(f"unknown figure {name!r}; pick from {sorted(ALL_FIGURES)}")
+        raise ValueError(
+            f"unknown figure {name!r}; pick from {sorted(ALL_FIGURES)}"
+        ) from None
     return fn(quick=quick)

@@ -53,7 +53,7 @@ class FigureResult:
 def format_table(result: FigureResult) -> str:
     """Render a FigureResult as an aligned text table."""
     label_width = max(
-        [len(result.x_label)] + [len(label) for label in result.series]
+        [len(result.x_label), *(len(label) for label in result.series)]
     )
     value_width = max(
         8,
@@ -65,7 +65,7 @@ def format_table(result: FigureResult) -> str:
     )
     lines = [f"== {result.figure}: {result.title} [{result.unit}] =="]
     header = f"{result.x_label:<{label_width}} | " + " ".join(
-        f"{str(x):>{value_width}}" for x in result.x_values
+        f"{x!s:>{value_width}}" for x in result.x_values
     )
     lines.append(header)
     lines.append("-" * len(header))

@@ -229,6 +229,16 @@ class ScaleRpcClient(RpcClientApi):
             self._enter_idle()
             return
         if isinstance(payload, ActivationNotice):
+            if (
+                self.state is ClientState.PROCESS
+                and self._binding is not None
+                and self._binding.epoch == payload.binding.epoch
+                and self._binding.slot_base == payload.binding.slot_base
+            ):
+                # Duplicate activation for the slice we already entered:
+                # rebinding would reset the block cursor and a second
+                # repost would overwrite requests the server has not read.
+                return
             self._bind(payload.binding)
             if self._outstanding:
                 self.sim.process(

@@ -237,10 +237,15 @@ class ScaleRpcServer(RpcServerApi):
         if not self.config.warmup_enabled:
             # No server-side fetching in the no-warmup baseline: a serving
             # client that announces mid-slice is activated to repost
-            # directly; others wait for their group's slice.
+            # directly; others wait for their group's slice.  An
+            # announcement that raced the slice-start activation must not
+            # trigger a second one (``warmed_up`` flips on the first):
+            # duplicate activations reset the client's block cursor and
+            # make concurrent reposts overwrite still-unread requests.
             if entry.client_id in self._serving_ids:
                 ctx.pending_entry = None
-                self._send_activation(ctx, self._serve_slots[entry.client_id])
+                if not ctx.warmed_up:
+                    self._send_activation(ctx, self._serve_slots[entry.client_id])
             return
         if entry.client_id in self._serving_ids:
             # Late announcement from a member of the group on the slice:

@@ -14,6 +14,8 @@ import random
 from collections import OrderedDict
 from typing import Hashable, Iterator, Optional
 
+from ..sim.rng import RngRegistry
+
 __all__ = ["LruCache"]
 
 
@@ -33,7 +35,14 @@ class LruCache:
     ``1 - capacity/N`` miss curve the paper measures in Figure 1(b).
     """
 
-    def __init__(self, capacity: int, name: str = "", policy: str = "lru", seed: int = 0):
+    def __init__(
+        self,
+        capacity: int,
+        name: str = "",
+        policy: str = "lru",
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if policy not in ("lru", "random"):
@@ -41,7 +50,11 @@ class LruCache:
         self.capacity = capacity
         self.name = name
         self.policy = policy
-        self._rng = random.Random(seed)
+        # Victim-selection stream for the random policy.  Callers embedded
+        # in a simulation pass their RngRegistry substream; standalone use
+        # derives one from (seed, name) so equal configurations still get
+        # equal eviction sequences.
+        self._rng = rng if rng is not None else RngRegistry(seed).stream(f"lru.{name}")
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         # Random policy keeps an index for O(1) victim selection.
         self._keys: list[Hashable] = []

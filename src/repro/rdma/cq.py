@@ -38,12 +38,22 @@ class Completion:
         return self.status == "success"
 
 
+#: Default CQ depth.  Real CQs are created with a fixed ``cqe`` count and
+#: overrun (IBV_EVENT_CQ_ERR) when the application stops polling; our
+#: Store is unbounded, so the depth is an accounting limit that
+#: SimSanitizer enforces rather than a hard failure on the fast path.
+DEFAULT_CQ_DEPTH = 1 << 16
+
+
 class CompletionQueue:
     """A FIFO of completions with both polling and event interfaces."""
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "", depth: int = DEFAULT_CQ_DEPTH):
+        if depth < 1:
+            raise ValueError(f"CQ depth must be >= 1, got {depth}")
         self.sim = sim
         self.name = name
+        self.depth = depth
         self._store = Store(sim, name=name)
         self.pushed = 0
         self.polled = 0

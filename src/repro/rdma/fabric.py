@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
 from ..sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -52,7 +53,7 @@ class Fabric:
         self.sim = sim
         self.params = params or WireParams()
         self.nodes: list["Node"] = []
-        self._loss_rng = __import__("random").Random(seed ^ 0x10552)
+        self._loss_rng = RngRegistry(seed).stream("fabric.loss")
         #: Packets dropped on unreliable transports.
         self.packets_lost = 0
         #: Optional verb-level tracer (disabled by default); the verb

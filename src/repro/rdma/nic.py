@@ -21,7 +21,6 @@ wire latency to completion timing in the verb layer.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import Generator, Hashable, Optional
 
@@ -30,6 +29,7 @@ from ..memsys.llc import LastLevelCache
 from ..memsys.pcie import PcieCounters
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
+from ..sim.rng import RngRegistry
 from .types import NicParams
 
 __all__ = ["Nic", "NicStats"]
@@ -67,6 +67,7 @@ class Nic:
         params: Optional[NicParams] = None,
         llc: Optional[LastLevelCache] = None,
         counters: Optional[PcieCounters] = None,
+        rng: Optional[RngRegistry] = None,
     ):
         self.sim = sim
         self.name = name
@@ -74,17 +75,21 @@ class Nic:
         self.counters = counters or PcieCounters()
         self.llc = llc or LastLevelCache(counters=self.counters)
         self.pipeline = Resource(sim, capacity=1, name=f"{name}.pipeline")
+        # Replacement-victim streams come from the registry, keyed by NIC
+        # name, so unrelated NICs draw independently and adding one never
+        # perturbs another's eviction sequence.
+        rng = rng or RngRegistry(0)
         self.conn_cache = LruCache(
             self.params.conn_cache_entries,
             name=f"{name}.qpc",
             policy=self.params.conn_cache_policy,
-            seed=zlib.crc32(name.encode()),
+            rng=rng.stream(f"nic.{name}.qpc"),
         )
         self.wqe_cache = LruCache(
             self.params.wqe_cache_entries,
             name=f"{name}.wqe",
             policy=self.params.conn_cache_policy,
-            seed=zlib.crc32(name.encode()) ^ 0x5A5A5A5A,
+            rng=rng.stream(f"nic.{name}.wqe"),
         )
         self.stats = NicStats()
 

@@ -16,6 +16,7 @@ from ..memsys.memory import MemoryRange, PhysicalMemory
 from ..memsys.pcie import PcieCounters
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
+from ..sim.rng import RngRegistry
 from .fabric import Fabric
 from .mr import Access, MemoryRegion, MrTable
 from .nic import Nic
@@ -49,6 +50,7 @@ class Node:
         nic_params: Optional[NicParams] = None,
         llc_params: Optional[LlcParams] = None,
         memory_bytes: int = 128 * 1024 * 1024 * 1024,
+        rng: Optional[RngRegistry] = None,
     ):
         self.sim = sim
         self.name = name
@@ -56,7 +58,7 @@ class Node:
         self.cores = cores
         self.counters = PcieCounters()
         self.llc = LastLevelCache(llc_params, self.counters)
-        self.nic = Nic(sim, f"{name}.nic", nic_params, self.llc, self.counters)
+        self.nic = Nic(sim, f"{name}.nic", nic_params, self.llc, self.counters, rng=rng)
         self.memory = PhysicalMemory(memory_bytes)
         self.mr_table = MrTable()
         self.cpu = Resource(sim, capacity=cores, name=f"{name}.cpu")
@@ -73,10 +75,12 @@ class Node:
     def register_memory(
         self,
         size: int,
-        access: Access = Access.all_remote(),
+        access: Optional[Access] = None,
         huge_pages: bool = True,
     ) -> MemoryRegion:
         """Allocate and register a fresh region (mmap + ibv_reg_mr)."""
+        if access is None:
+            access = Access.all_remote()
         if huge_pages:
             memory_range = self.memory.allocate_huge_pages(size)
         else:

@@ -20,7 +20,14 @@ from .types import Transport
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .node import Node
 
-__all__ = ["QpState", "QpError", "QueuePair", "AddressHandle", "RecvWqe"]
+__all__ = [
+    "QpState",
+    "QpError",
+    "QueuePair",
+    "AddressHandle",
+    "RecvWqe",
+    "ALLOWED_TRANSITIONS",
+]
 
 
 class QpError(RuntimeError):
@@ -35,6 +42,21 @@ class QpState(enum.Enum):
     RTR = "RTR"  # ready to receive
     RTS = "RTS"  # ready to send
     ERROR = "ERROR"
+
+
+#: Legal state transitions (verbs modify-QP order, collapsed to the subset
+#: this model uses: ``connect()`` takes INIT straight to RTS).  Any state
+#: may fall to ERROR; ERROR resets to RESET.
+ALLOWED_TRANSITIONS: frozenset[tuple[QpState, QpState]] = frozenset(
+    {
+        (QpState.RESET, QpState.INIT),
+        (QpState.INIT, QpState.RTR),
+        (QpState.INIT, QpState.RTS),
+        (QpState.RTR, QpState.RTS),
+        (QpState.ERROR, QpState.RESET),
+    }
+    | {(state, QpState.ERROR) for state in QpState if state is not QpState.ERROR}
+)
 
 
 @dataclass(frozen=True)
@@ -87,11 +109,29 @@ class QueuePair:
         self.max_recv_wr = max_recv_wr
         self.recv_queue: deque[RecvWqe] = deque()
         self.peer: Optional["QueuePair"] = None
-        self.state = QpState.RTS if transport is Transport.UD else QpState.INIT
-        # Book-keeping used by experiments.
+        # UD QPs are send-ready immediately; connected QPs must connect().
+        self._state = QpState.RTS if transport is Transport.UD else QpState.INIT
+        # Book-keeping used by experiments (and checked by SimSanitizer:
+        # recvs_posted == recvs_consumed + len(recv_queue) at all times).
         self.sends_posted = 0
         self.recvs_posted = 0
+        self.recvs_consumed = 0
         self.rnr_drops = 0
+
+    @property
+    def state(self) -> QpState:
+        return self._state
+
+    @state.setter
+    def state(self, new_state: QpState) -> None:
+        if new_state is self._state:
+            return
+        if (self._state, new_state) not in ALLOWED_TRANSITIONS:
+            raise QpError(
+                f"illegal QP state transition {self._state.value} -> "
+                f"{new_state.value} on QP {self.qp_num}"
+            )
+        self._state = new_state
 
     def __repr__(self) -> str:
         peer = self.peer.qp_num if self.peer else None
@@ -135,4 +175,5 @@ class QueuePair:
         """Pop the next receive buffer, or None when the RQ is empty."""
         if not self.recv_queue:
             return None
+        self.recvs_consumed += 1
         return self.recv_queue.popleft()

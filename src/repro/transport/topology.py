@@ -64,9 +64,9 @@ class Topology:
         sim = Simulator()
         rng = RngRegistry(config.seed)
         fabric = Fabric(sim, config.wire)
-        server_nodes = [Node(sim, name, fabric) for name in config.server_names]
+        server_nodes = [Node(sim, name, fabric, rng=rng) for name in config.server_names]
         machines = [
-            Node(sim, f"m{i}", fabric, cores=config.machine_cores)
+            Node(sim, f"m{i}", fabric, cores=config.machine_cores, rng=rng)
             for i in range(config.n_client_machines)
         ]
         return cls(

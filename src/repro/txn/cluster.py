@@ -132,7 +132,7 @@ def build_txn_cluster(config: TxnClusterConfig) -> TxnCluster:
 
     use_one_sided = config.system == "scaletx"
     coordinators: list[TxnCoordinator] = []
-    for index in range(config.n_coordinators):
+    for _index in range(config.n_coordinators):
         machine = topo.next_machine()
         rpcs = [server.connect(machine) for server in servers]
         for rpc in rpcs:

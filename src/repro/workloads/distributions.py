@@ -12,6 +12,8 @@ import math
 import random
 from typing import Callable
 
+from ..sim.rng import RngRegistry
+
 __all__ = [
     "gaussian_afd_think_time",
     "uniform_think_time",
@@ -22,7 +24,9 @@ __all__ = [
 ThinkTimeFn = Callable[[int, random.Random], int]
 
 
-def gaussian_afd_think_time(sigma: float, base_ns: int = 4_000) -> ThinkTimeFn:
+def gaussian_afd_think_time(
+    sigma: float, base_ns: int = 4_000, seed: int = 0
+) -> ThinkTimeFn:
     """Per-client think times with a Gaussian access-frequency spread.
 
     Each client gets a fixed multiplier ``exp(N(0, sigma))`` (log-normal,
@@ -33,14 +37,16 @@ def gaussian_afd_think_time(sigma: float, base_ns: int = 4_000) -> ThinkTimeFn:
     if sigma < 0:
         raise ValueError("sigma must be non-negative")
     multipliers: dict[int, float] = {}
+    # One registry per think-time function: each client's factor is the
+    # first draw of its own substream, so factors are independent of both
+    # client arrival order and every other stochastic component.
+    factor_streams = RngRegistry(seed)
 
     def think(client_id: int, rng: random.Random) -> int:
         factor = multipliers.get(client_id)
         if factor is None:
-            # Derive the per-client factor from its own stream so it is
-            # stable across calls.
-            seed_rng = random.Random(client_id * 2654435761 % (1 << 31))
-            factor = math.exp(seed_rng.gauss(0.0, sigma))
+            stream = factor_streams.stream(f"afd.{client_id}")
+            factor = math.exp(stream.gauss(0.0, sigma))
             multipliers[client_id] = factor
         mean = base_ns * factor
         return max(0, int(rng.expovariate(1.0 / mean))) if mean > 0 else 0

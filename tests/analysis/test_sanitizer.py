@@ -1,0 +1,161 @@
+"""SimSanitizer behaviour: clean runs, provoked violations, additivity.
+
+Every test here installs its own sanitizer (or deliberately violates an
+invariant), so the whole module opts out of the conftest's autouse
+instrumentation with ``no_sanitize``.
+"""
+
+import pytest
+
+from repro.analysis.sanitize import (
+    SimSanitizer,
+    enabled_from_env,
+    sanitized_run,
+)
+from repro.rdma.cq import Completion, CompletionQueue
+from repro.rdma.fabric import Fabric
+from repro.rdma.node import Node
+from repro.rdma.qp import QpError, QpState
+from repro.rdma.types import Opcode, Transport
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+pytestmark = pytest.mark.no_sanitize
+
+
+def test_enabled_from_env(monkeypatch):
+    for value, expected in [
+        ("1", True), ("true", True), ("yes", True),
+        ("0", False), ("false", False), ("no", False), ("", False),
+    ]:
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert enabled_from_env() is expected
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert enabled_from_env() is False
+
+
+def test_clean_run_reports_ok():
+    def body():
+        sim = Simulator()
+        seen = []
+
+        def proc(sim):
+            for _ in range(5):
+                yield sim.timeout(10)
+                seen.append(sim.now)
+
+        sim.process(proc(sim), name="p")
+        sim.run(until=100)
+        return seen
+
+    seen, report = sanitized_run(body)
+    assert seen == [10, 20, 30, 40, 50]
+    assert report.ok, report.render()
+    assert report.stats.get("sims") == 1
+
+
+def test_uninstall_restores_classes():
+    pristine_deliver = Simulator._schedule
+    sanitizer = SimSanitizer()
+    sanitizer.install()
+    assert Simulator._schedule is not pristine_deliver
+    sanitizer.uninstall()
+    assert Simulator._schedule is pristine_deliver
+
+
+def test_illegal_qp_transition_is_reported():
+    def body():
+        sim = Simulator()
+        fabric = Fabric(sim)
+        node = Node(sim, "n0", fabric)
+        qp = node.create_qp(Transport.RC)
+        assert qp.state is QpState.INIT
+        with pytest.raises(QpError):
+            qp.state = QpState.RESET  # INIT -> RESET is not a verbs edge
+
+    _, report = sanitized_run(body)
+    assert report.rule_counts.get("qp-transition") == 1
+    assert any(f.rule == "qp-transition" for f in report.findings)
+
+
+def test_cq_double_push_and_double_poll_reported():
+    def body():
+        sim = Simulator()
+        cq = CompletionQueue(sim, name="t.cq")
+        completion = Completion(wr_id=7, opcode=Opcode.SEND, qp_num=1)
+        cq.push(completion)
+        cq.push(completion)  # same entry deposited twice
+        assert cq.poll() == [completion, completion]
+
+    _, report = sanitized_run(body)
+    assert report.rule_counts.get("cq-double-push") == 1
+    # The second poll of the same entry is the mirror violation.
+    assert report.rule_counts.get("cq-double-poll") == 1
+
+
+def test_cq_overflow_reported():
+    def body():
+        sim = Simulator()
+        cq = CompletionQueue(sim, name="tiny", depth=2)
+        for wr_id in range(3):
+            cq.push(Completion(wr_id=wr_id, opcode=Opcode.SEND, qp_num=1))
+
+    _, report = sanitized_run(body)
+    assert report.rule_counts.get("cq-overflow") == 1
+
+
+def test_unpolled_cq_is_a_stat_not_a_finding():
+    def body():
+        sim = Simulator()
+        cq = CompletionQueue(sim, name="inflight")
+        cq.push(Completion(wr_id=1, opcode=Opcode.SEND, qp_num=1))
+
+    _, report = sanitized_run(body)
+    assert report.ok, report.render()
+    assert report.stats.get("cq_inflight_at_finish") == 1
+
+
+def test_resource_conservation_checked_at_finish():
+    def body():
+        sim = Simulator()
+        resource = Resource(sim, capacity=2, name="cores")
+        event = resource.request()
+        assert event.triggered
+        resource._in_use = 2  # corrupt occupancy behind the accounting
+
+    _, report = sanitized_run(body)
+    assert report.rule_counts.get("resource-conservation", 0) >= 1
+
+
+def test_recv_wqe_conservation_checked_at_finish():
+    def body():
+        sim = Simulator()
+        fabric = Fabric(sim)
+        node = Node(sim, "n0", fabric)
+        qp = node.create_qp(Transport.UD)
+        qp.recvs_posted = 3  # claim posts that never reached the queue
+
+    _, report = sanitized_run(body)
+    assert report.rule_counts.get("qp-recv-conservation") == 1
+
+
+def test_sanitizer_is_additive():
+    """Instrumentation observes the run without changing its results."""
+    from repro.bench.harness import RpcExperiment, run_rpc_experiment
+
+    experiment = RpcExperiment(
+        system="scalerpc",
+        n_clients=4,
+        n_client_machines=2,
+        group_size=4,
+        warmup_ns=50_000,
+        measure_ns=200_000,
+        seed=7,
+    )
+    plain = run_rpc_experiment(experiment)
+    sanitized, report = sanitized_run(lambda: run_rpc_experiment(experiment))
+    assert report.ok, report.render()
+    assert sanitized.completed_ops == plain.completed_ops
+    assert sanitized.window_ns == plain.window_ns
+    assert sanitized.throughput_mops == plain.throughput_mops
+    assert sanitized.latency == plain.latency

@@ -1,6 +1,9 @@
 """Repository-wide pytest configuration."""
 
+import pytest
 from hypothesis import HealthCheck, settings
+
+from repro.analysis import SimSanitizer, enabled_from_env
 
 # Property tests drive whole simulations; wall-clock deadlines would flake
 # on slow machines without telling us anything about correctness.
@@ -10,3 +13,30 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def sim_sanitizer(request):
+    """Run every test under SimSanitizer when REPRO_SANITIZE=1.
+
+    The sanitizer instruments the sim kernel and the resource models for
+    the duration of one test and fails it if any invariant was violated.
+    Tests that deliberately provoke violations opt out with
+    ``@pytest.mark.no_sanitize``.
+    """
+    if not enabled_from_env() or request.node.get_closest_marker("no_sanitize"):
+        yield None
+        return
+    sanitizer = SimSanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        report = sanitizer.uninstall()
+    assert report.ok, report.render()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "no_sanitize: skip SimSanitizer instrumentation for this test"
+    )

@@ -94,7 +94,7 @@ class TestChurn:
             late["payload"] = response.payload
 
         joiner_proc = cluster.sim.process(joiner(cluster.sim))
-        run_until_done(cluster, drivers + [joiner_proc], 200_000_000)
+        run_until_done(cluster, [*drivers, joiner_proc], 200_000_000)
         assert late["payload"] == "late"
 
 

@@ -88,7 +88,7 @@ class TestDmaWrite:
         # 1 DDIO way per set: DMA-writing 3 tags of the same set without
         # CPU promotion keeps evicting within that single way.
         llc = small_llc(sets=4, ways=4, ddio_ways=1)
-        for round_number in range(3):
+        for _round in range(3):
             for tag in range(3):
                 llc.dma_write(addr_for(llc, 0, tag), 64)
         assert llc.stats.dma_update_hits == 0

@@ -27,7 +27,7 @@ class TestRandomPolicy:
         curve rules out)."""
         capacity, n_keys, rounds = 32, 64, 200
         cache = LruCache(capacity, policy="random", seed=3)
-        for r in range(rounds):
+        for _r in range(rounds):
             for key in range(n_keys):
                 cache.access(key)
         hit_rate = cache.hits / cache.accesses
@@ -35,7 +35,7 @@ class TestRandomPolicy:
         assert 0.1 < hit_rate < 0.4
 
         lru = LruCache(capacity, policy="lru")
-        for r in range(rounds):
+        for _r in range(rounds):
             for key in range(n_keys):
                 lru.access(key)
         assert lru.hits == 0  # strict LRU thrashes completely

@@ -100,11 +100,11 @@ class TestInboundFlat:
             clients.append((client, qp_c, src.range.base))
 
         def client_proc(sim, qp, src_addr, slot):
-            for n in range(5):
+            for _n in range(5):
                 wr = post_write(qp, src_addr, pool.range.base + slot * 64, 32)
                 yield wr.completion
 
-        for i, (client, qp, src_addr) in enumerate(clients):
+        for i, (_client, qp, src_addr) in enumerate(clients):
             sim.process(client_proc(sim, qp, src_addr, i))
         sim.run()
         assert server.nic.stats.conn_misses == 0

@@ -1,9 +1,8 @@
 """Tests for workload distributions."""
 
-import random
-
 import pytest
 
+from repro.sim.rng import RngRegistry
 from repro.workloads import (
     gaussian_afd_think_time,
     hotspot_sampler,
@@ -12,10 +11,15 @@ from repro.workloads import (
 )
 
 
+def _rng(seed: int):
+    """A draw stream for test inputs, derived the same way the sim does."""
+    return RngRegistry(seed).stream("test")
+
+
 class TestGaussianAfd:
     def test_stable_per_client_factor(self):
         think = gaussian_afd_think_time(1.0, base_ns=1000)
-        rng = random.Random(1)
+        rng = _rng(1)
         # Same client keeps its multiplier: means over many draws differ
         # between clients but are consistent within one.
         means = {}
@@ -26,7 +30,7 @@ class TestGaussianAfd:
 
     def test_sigma_zero_is_uniform(self):
         think = gaussian_afd_think_time(0.0, base_ns=1000)
-        rng = random.Random(1)
+        rng = _rng(1)
         means = []
         for client in range(5):
             draws = [think(client, rng) for _ in range(2000)]
@@ -35,7 +39,7 @@ class TestGaussianAfd:
         assert spread < 1.2
 
     def test_larger_sigma_spreads_clients(self):
-        rng = random.Random(1)
+        rng = _rng(1)
 
         def spread(sigma):
             think = gaussian_afd_think_time(sigma, base_ns=1000)
@@ -47,24 +51,32 @@ class TestGaussianAfd:
 
         assert spread(1.0) > spread(0.2)
 
+    def test_seed_changes_factors(self):
+        rng = _rng(1)
+        a = gaussian_afd_think_time(1.0, base_ns=1000, seed=0)
+        b = gaussian_afd_think_time(1.0, base_ns=1000, seed=1)
+        mean_a = sum(a(1, rng) for _ in range(500)) / 500
+        mean_b = sum(b(1, rng) for _ in range(500)) / 500
+        assert round(mean_a) != round(mean_b)
+
     def test_negative_sigma_rejected(self):
         with pytest.raises(ValueError):
             gaussian_afd_think_time(-0.1)
 
     def test_non_negative_values(self):
         think = gaussian_afd_think_time(1.0)
-        rng = random.Random(3)
+        rng = _rng(3)
         assert all(think(1, rng) >= 0 for _ in range(100))
 
 
 class TestUniformThinkTime:
     def test_zero_mean(self):
         think = uniform_think_time(0)
-        assert think(1, random.Random(1)) == 0
+        assert think(1, _rng(1)) == 0
 
     def test_mean_approx(self):
         think = uniform_think_time(1000)
-        rng = random.Random(1)
+        rng = _rng(1)
         draws = [think(1, rng) for _ in range(5000)]
         assert sum(draws) / len(draws) == pytest.approx(1000, rel=0.1)
 
@@ -76,13 +88,13 @@ class TestUniformThinkTime:
 class TestZipf:
     def test_range(self):
         sample = zipf_sampler(100, 0.9)
-        rng = random.Random(1)
+        rng = _rng(1)
         draws = [sample(rng) for _ in range(2000)]
         assert all(0 <= d < 100 for d in draws)
 
     def test_skew(self):
         sample = zipf_sampler(1000, 0.99)
-        rng = random.Random(1)
+        rng = _rng(1)
         draws = [sample(rng) for _ in range(5000)]
         head = sum(1 for d in draws if d < 100)
         assert head > len(draws) * 0.4  # top 10% of keys get >40% of hits
@@ -97,15 +109,15 @@ class TestZipf:
 class TestHotspot:
     def test_hot_probability(self):
         sample = hotspot_sampler(1000, hot_fraction=0.04, hot_probability=0.6)
-        rng = random.Random(1)
+        rng = _rng(1)
         draws = [sample(rng) for _ in range(10000)]
         hot_hits = sum(1 for d in draws if d < 40)
         assert hot_hits / len(draws) == pytest.approx(0.6, abs=0.05)
 
     def test_cold_keys_covered(self):
         sample = hotspot_sampler(100, hot_fraction=0.1, hot_probability=0.5)
-        rng = random.Random(2)
-        draws = {sample(rng) for _ in range(5000)}
+        rng = _rng(2)
+        draws = [sample(rng) for _ in range(5000)]
         assert max(draws) >= 50
 
     def test_validation(self):

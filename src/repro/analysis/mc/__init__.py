@@ -1,0 +1,38 @@
+"""Schedule-space model checking for the group-activation protocol.
+
+``repro.analysis.mc`` drives the deterministic simulation kernel through
+*many* legal orderings of same-instant events instead of the single FIFO
+order that ``Simulator.run()`` produces.  The kernel's ``step()`` consults
+an optional :attr:`~repro.sim.engine.Simulator.tiebreak` hook; the
+explorer installs a controller there, records every branch point, and
+re-executes small fixed topologies (2-4 clients, 1-2 groups) from scratch
+along each unexplored branch — stateless model checking in the style of
+VeriSoft/CHESS, with actor-class commutation and state-hash pruning as
+the partial-order reduction.
+
+Every execution is checked against the protocol invariants in
+:mod:`.invariants` (activation uniqueness per epoch, cursor freshness,
+bounded-state transitions, request liveness) plus the full SimSanitizer
+rule set.  A violating execution is summarized by its *schedule* — the
+list of branch decisions — which replays deterministically, so every
+counterexample becomes a one-line regression test.
+
+Run ``python -m repro.analysis.mc --list`` for the scenario matrix.
+"""
+
+from .explorer import Execution, ExplorationReport, Explorer, replay
+from .invariants import ProtocolObserver, Violation
+from .scenarios import SCENARIOS, Scenario, World, build_world
+
+__all__ = [
+    "Execution",
+    "ExplorationReport",
+    "Explorer",
+    "ProtocolObserver",
+    "Violation",
+    "SCENARIOS",
+    "Scenario",
+    "World",
+    "build_world",
+    "replay",
+]

@@ -1,0 +1,110 @@
+"""CLI for the schedule-space model checker.
+
+Sweep the whole matrix (bounded)::
+
+    PYTHONPATH=src python -m repro.analysis.mc
+
+Exhaust one scenario and keep replay artifacts::
+
+    PYTHONPATH=src python -m repro.analysis.mc --scenario nowarm-2c-1g \\
+        --max-schedules 2000 --artifact-dir artifacts/mc
+
+Demonstrate detection of the historical double-activation race::
+
+    PYTHONPATH=src python -m repro.analysis.mc --scenario nowarm-2c-1g --buggy
+
+Exit status: 0 when every swept scenario is clean — or, with ``--buggy``,
+when the checker *did* flag the resurrected race (detection is the pass
+condition there); 1 otherwise.  All caps are schedule counts, never wall
+clock, so runs are deterministic; CI bounds wall time externally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .explorer import Explorer
+from .scenarios import SCENARIOS
+
+#: Per-scenario schedule budget in --ci mode: enough for the two small
+#: scenarios to exhaust and for meaningful coverage of the larger ones,
+#: while keeping the whole job under a minute.
+CI_MAX_SCHEDULES = 200
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.mc",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="scenario to sweep (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the scenario matrix and exit"
+    )
+    parser.add_argument(
+        "--max-schedules",
+        type=int,
+        default=800,
+        help="schedule budget per scenario (default 800)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="disable state-hash pruning (fully exhaustive, much slower)",
+    )
+    parser.add_argument(
+        "--buggy",
+        action="store_true",
+        help="resurrect the pre-fix double-activation race; the checker "
+        "must flag it",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=None,
+        help="write violating schedules as JSON replay artifacts here",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help=f"bounded CI sweep ({CI_MAX_SCHEDULES} schedules/scenario)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name:24s} {SCENARIOS[name].description}")
+        return 0
+
+    names = args.scenario or sorted(SCENARIOS)
+    budget = CI_MAX_SCHEDULES if args.ci else args.max_schedules
+    all_clean = True
+    any_flagged = False
+    for name in names:
+        explorer = Explorer(SCENARIOS[name], buggy=args.buggy, full=args.full)
+        report = explorer.explore(
+            max_schedules=budget, artifact_dir=args.artifact_dir
+        )
+        print(report.render())
+        all_clean = all_clean and report.ok
+        any_flagged = any_flagged or not report.ok
+
+    if args.buggy:
+        if any_flagged:
+            print("buggy variant flagged as expected")
+            return 0
+        print("ERROR: buggy variant NOT flagged", file=sys.stderr)
+        return 1
+    return 0 if all_clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Protocol invariants checked on every explored schedule.
+
+The observer wraps *instances* of one scenario world (never classes, so
+parallel worlds and the class-level SimSanitizer patches are untouched)
+and records violations of the activation protocol:
+
+- ``duplicate-activation`` — the server granted more than one activation
+  to the same client within one epoch ("every slice activated exactly
+  once per epoch").  This is the server half of the historical
+  double-``ActivationNotice`` lost update.
+- ``stale-rebind`` — a client accepted an activation whose sequence
+  number was not strictly fresh, resetting its block cursor ("cursor
+  rebinding only on a fresh activation sequence number").  This is the
+  client half of the same race; the fixed client cannot do it by
+  construction, the pre-fix variant is caught here.
+- ``unbound-direct-write`` — a client RDMA-wrote a request directly while
+  holding no binding ("no client writes to a region it holds no
+  activation for", client side).
+- ``foreign-slot-write`` — a *serving* client's request landed in another
+  member's slot of the processing pool (server side of the same
+  property).  Writes from non-serving clients are the paper's tolerated
+  stale traffic (dropped and re-announced), not violations.
+
+Request liveness ("every accepted request answered before the horizon")
+is checked by the explorer after the run, and everything SimSanitizer
+watches (msgpool overwrite-while-live, CQ/QP/resource conservation, ...)
+is merged into the same violation list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ...core.message import RpcRequest
+from ...core.protocol import fresh_activation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scenarios import World
+
+__all__ = ["ProtocolObserver", "Violation", "swap_write_watcher"]
+
+
+def swap_write_watcher(node, old_callback, new_callback) -> None:
+    """Replace a registered inbound-write watcher callback on ``node``.
+
+    ``Node.watch_writes`` captures the bound method at registration time,
+    so instance-attribute patching alone never intercepts deliveries; the
+    watcher table entry itself must be swapped.
+    """
+    watchers = node._write_watchers
+    for index, (memory_range, callback) in enumerate(watchers):
+        if callback == old_callback:
+            watchers[index] = (memory_range, new_callback)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One protocol property broken by the explored schedule."""
+
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.rule}] {self.message}"
+
+
+class ProtocolObserver:
+    """Instance-level wrappers recording protocol violations for one world."""
+
+    def __init__(self, world: "World"):
+        self.world = world
+        self.violations: list[Violation] = []
+        #: Activations granted per (epoch, client_id).
+        self._granted: dict[tuple[int, int], int] = {}
+        self._wrap_server(world.server)
+        for client in list(world.clients):
+            self.attach_client(client)
+        world.on_client_created.append(self.attach_client)
+
+    def _violate(self, rule: str, message: str) -> None:
+        self.violations.append(Violation(rule, message))
+
+    # -- server side -------------------------------------------------------
+
+    def _wrap_server(self, server) -> None:
+        observer = self
+        orig_send_activation = server._send_activation
+        orig_on_pool_write = server._on_pool_write
+
+        def send_activation(ctx, slot):
+            key = (server.epoch, ctx.client_id)
+            count = observer._granted.get(key, 0) + 1
+            observer._granted[key] = count
+            if count > 1:
+                observer._violate(
+                    "duplicate-activation",
+                    f"epoch {server.epoch}: client {ctx.client_id} "
+                    f"activated {count} times (slot {slot})",
+                )
+            return orig_send_activation(ctx, slot)
+
+        def on_pool_write(event):
+            request = event.payload
+            if isinstance(request, RpcRequest):
+                pool = server.pools.pool_of_addr(event.addr)
+                if (
+                    pool is server.pools.processing
+                    and request.client_id in server._serving_ids
+                ):
+                    slot = pool.slot_of_addr(event.addr)
+                    assigned = server._serve_slots.get(request.client_id)
+                    if assigned != slot:
+                        observer._violate(
+                            "foreign-slot-write",
+                            f"client {request.client_id} (slot {assigned}) "
+                            f"wrote {event.addr:#x} in slot {slot} of the "
+                            f"processing pool",
+                        )
+            return orig_on_pool_write(event)
+
+        server._send_activation = send_activation
+        swap_write_watcher(server.node, orig_on_pool_write, on_pool_write)
+        server._on_pool_write = on_pool_write
+
+    # -- client side -------------------------------------------------------
+
+    def attach_client(self, client) -> None:
+        """Wrap one client (also called for clients joining mid-run)."""
+        observer = self
+        orig_bind = client._bind
+        orig_post_direct = client._post_direct
+
+        def bind(binding):
+            last = client._bound_seq
+            accepted = orig_bind(binding)
+            if accepted and not fresh_activation(last, binding.seq):
+                observer._violate(
+                    "stale-rebind",
+                    f"client {client.client_id} rebound its cursor on "
+                    f"activation seq {binding.seq} (last accepted {last}, "
+                    f"epoch {binding.epoch})",
+                )
+            return accepted
+
+        def post_direct(request):
+            binding = client._binding
+            if binding is None:
+                observer._violate(
+                    "unbound-direct-write",
+                    f"client {client.client_id} posted req {request.req_id} "
+                    f"directly while holding no activation",
+                )
+            elif client._cursor is not None and not (
+                binding.slot_base
+                <= client._cursor.base
+                < binding.slot_base + binding.slot_bytes
+            ):
+                observer._violate(
+                    "unbound-direct-write",
+                    f"client {client.client_id} cursor at "
+                    f"{client._cursor.base:#x} outside bound slot "
+                    f"[{binding.slot_base:#x}, +{binding.slot_bytes})",
+                )
+            return orig_post_direct(request)
+
+        client._bind = bind
+        client._post_direct = post_direct

@@ -1,0 +1,312 @@
+"""The model-checking scenario matrix: small worlds, full coverage.
+
+Each scenario builds a fresh, self-contained ScaleRPC deployment (its own
+:class:`~repro.sim.Simulator`, fabric, server, clients, and closed-loop
+drivers) small enough that the explorer can sweep its schedule space:
+2-4 clients, 1-2 groups, one or two requests per client.  The matrix
+covers the control-plane shapes ROADMAP singles out — activation races,
+context switches between groups, stragglers racing the pool swap, and a
+client joining mid-slice.
+
+``build_world(..., buggy=True)`` resurrects the historical no-warmup
+double-``ActivationNotice`` lost update by reverting both fixes at the
+instance level: the server re-sends the activation on every mid-slice
+announcement (no ``warmed_up`` guard) and the clients rebind their block
+cursor on any activation (no sequence-number freshness check).  The
+checker must flag it; see ``tests/analysis/test_mc.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ...core import ScaleRpcConfig, ScaleRpcServer
+from ...core.message import EndpointEntry
+from ...rdma import Fabric, Node
+from ...sim import Simulator
+
+__all__ = ["SCENARIOS", "Scenario", "World", "build_world"]
+
+
+@dataclass
+class World:
+    """One disposable deployment under exploration."""
+
+    name: str
+    sim: Simulator
+    server: ScaleRpcServer
+    clients: list
+    machines: list
+    drivers: list = field(default_factory=list)
+    handles: list = field(default_factory=list)
+    horizon_ns: int = 300_000
+    #: Hooks run for clients connecting mid-run (observer attachment).
+    on_client_created: list = field(default_factory=list)
+
+    def add_client(self, machine: Node):
+        client = self.server.connect(machine)
+        self.clients.append(client)
+        for hook in self.on_client_created:
+            hook(client)
+        return client
+
+    def snapshot(self) -> tuple:
+        """Abstract protocol state, hashed for branch pruning.
+
+        Deliberately avoids globally-counted identifiers (request ids,
+        group ids, wr ids), which differ across executions that are in
+        the same protocol state.
+        """
+        server = self.server
+        return (
+            self.sim.now,
+            server.epoch,
+            tuple(sorted(server._serving_ids)),
+            server._draining,
+            len(server._warmed_items),
+            tuple(
+                (
+                    client.state.name,
+                    client._bound_seq,
+                    len(client._outstanding),
+                )
+                for client in self.clients
+            ),
+            tuple(driver.triggered for driver in self.drivers),
+        )
+
+
+def _driver(world: World, client, n_requests: int, start_ns: int,
+            rounds: int = 1, gap_ns: int = 0) -> Generator:
+    """Closed loop: (post a batch, flush, await all) x ``rounds``."""
+    sim = world.sim
+    if start_ns:
+        yield sim.timeout(start_ns)
+    for round_no in range(rounds):
+        if round_no and gap_ns:
+            yield sim.timeout(gap_ns)
+        handles = []
+        for index in range(n_requests):
+            handle = yield from client.async_call(
+                "echo", payload=(client.client_id, round_no, index)
+            )
+            handles.append(handle)
+            world.handles.append(handle)
+        yield from client.flush()
+        yield from client.poll_completions(handles)
+
+
+def _joiner(world: World, machine: Node, join_ns: int, n_requests: int) -> Generator:
+    """A client that connects mid-run, then runs one closed loop."""
+    yield world.sim.timeout(join_ns)
+    client = world.add_client(machine)
+    yield from _driver(world, client, n_requests, start_ns=0)
+
+
+def build_world(
+    name: str = "adhoc",
+    n_clients: int = 2,
+    group_size: int = 4,
+    warmup: bool = True,
+    requests_per_client: int = 1,
+    rounds: int = 1,
+    gap_ns: int = 0,
+    stagger_ns: int = 0,
+    time_slice_ns: int = 20_000,
+    horizon_ns: int = 300_000,
+    n_server_threads: int = 1,
+    mid_join_ns: int = 0,
+    buggy: bool = False,
+) -> World:
+    """One fresh deployment; every parameter is part of the scenario."""
+    config = ScaleRpcConfig(
+        group_size=group_size,
+        time_slice_ns=time_slice_ns,
+        block_size=256,
+        blocks_per_client=4,
+        n_server_threads=n_server_threads,
+        warmup_enabled=warmup,
+        rebalance_every_slices=10_000,  # keep the partition fixed
+    )
+    sim = Simulator()
+    fabric = Fabric(sim)
+    server_node = Node(sim, "server", fabric)
+    server = ScaleRpcServer(server_node, lambda request: request.payload, config=config)
+    machines = [Node(sim, f"m{index}", fabric) for index in range(2)]
+    world = World(
+        name=name,
+        sim=sim,
+        server=server,
+        clients=[],
+        machines=machines,
+        horizon_ns=horizon_ns,
+    )
+    for index in range(n_clients):
+        world.clients.append(server.connect(machines[index % 2]))
+    if buggy:
+        _resurrect_double_activation(world)
+    server.start()
+    for index, client in enumerate(world.clients):
+        world.drivers.append(
+            sim.process(
+                _driver(
+                    world,
+                    client,
+                    requests_per_client,
+                    start_ns=index * stagger_ns,
+                    rounds=rounds,
+                    gap_ns=gap_ns,
+                ),
+                name=f"drv{client.client_id}",
+            )
+        )
+    if mid_join_ns:
+        world.drivers.append(
+            sim.process(
+                _joiner(world, machines[0], mid_join_ns, requests_per_client),
+                name="drv.join",
+            )
+        )
+    return world
+
+
+def _resurrect_double_activation(world: World) -> None:
+    """Revert both halves of the historical lost-update fix (PR 2).
+
+    Server: a mid-slice announcement in no-warmup mode re-sends the
+    activation unconditionally (the pre-fix ``_on_entry_write`` had no
+    ``warmed_up`` guard).  Client: any activation rebinds the block
+    cursor (the pre-fix ``_bind`` had no sequence-number freshness
+    check).  Both patches are instance-level; class code is untouched.
+    """
+    from .invariants import swap_write_watcher
+
+    server = world.server
+    orig_entry = server._on_entry_write
+
+    def buggy_on_entry_write(event):
+        entry = event.payload
+        if not server.config.warmup_enabled and isinstance(entry, EndpointEntry):
+            ctx = server.groups.clients.get(entry.client_id)
+            if ctx is not None and not server._draining:
+                ctx.pending_entry = entry
+                if entry.client_id in server._serving_ids:
+                    ctx.pending_entry = None
+                    # Pre-fix: no ``warmed_up`` guard; a slice-start
+                    # activation racing this announcement is duplicated.
+                    server._send_activation(
+                        ctx, server._serve_slots[entry.client_id]
+                    )
+                return
+        orig_entry(event)
+
+    swap_write_watcher(server.node, orig_entry, buggy_on_entry_write)
+    server._on_entry_write = buggy_on_entry_write
+
+    def break_client(client) -> None:
+        def buggy_bind(binding):
+            # Pre-fix: rebind unconditionally (still recording the seq so
+            # the observer can tell a duplicate was *accepted*).
+            client._bound_seq = binding.seq
+            client._binding = binding
+            config = client.server.config
+            from ...core.msgpool import BlockCursor
+            from ...core.protocol import ClientState
+
+            client._cursor = BlockCursor(
+                binding.slot_base, config.block_size, config.blocks_per_client
+            )
+            client.state = ClientState.PROCESS
+            return True
+
+        client._bind = buggy_bind
+
+    for client in list(world.clients):
+        break_client(client)
+    world.on_client_created.append(break_client)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named point of the matrix (CLI name -> world parameters)."""
+
+    name: str
+    description: str
+    params: tuple  # sorted (key, value) pairs for build_world
+
+    def build(self, buggy: bool = False) -> World:
+        kwargs = dict(self.params)
+        return build_world(name=self.name, buggy=buggy, **kwargs)
+
+
+def _scenario(name: str, description: str, **kwargs: Any) -> Scenario:
+    return Scenario(name, description, tuple(sorted(kwargs.items())))
+
+
+_MATRIX = [
+    _scenario(
+        "nowarm-2c-1g",
+        "2 clients, one group, no warmup: the double-activation shape; "
+        "small enough to exhaust",
+        n_clients=2,
+        group_size=4,
+        warmup=False,
+        requests_per_client=1,
+        time_slice_ns=30_000,
+        horizon_ns=200_000,
+    ),
+    _scenario(
+        "nowarm-3c-2g",
+        "3 clients over two groups, no warmup: activation + context "
+        "switch + re-announce",
+        n_clients=3,
+        group_size=2,
+        warmup=False,
+        requests_per_client=1,
+        rounds=2,
+        time_slice_ns=15_000,
+        horizon_ns=400_000,
+    ),
+    _scenario(
+        "nowarm-midjoin-3c",
+        "2 clients running, a third joins mid-slice (no warmup): "
+        "continuation re-admission",
+        n_clients=2,
+        group_size=4,
+        warmup=False,
+        requests_per_client=1,
+        rounds=2,
+        gap_ns=8_000,
+        mid_join_ns=9_000,
+        time_slice_ns=30_000,
+        horizon_ns=400_000,
+    ),
+    _scenario(
+        "warm-4c-2g",
+        "4 clients over two groups with warmup: fetches racing the "
+        "slice rotation",
+        n_clients=4,
+        group_size=2,
+        warmup=True,
+        requests_per_client=1,
+        time_slice_ns=15_000,
+        horizon_ns=400_000,
+        n_server_threads=2,
+    ),
+    _scenario(
+        "warm-straggler-2c-2g",
+        "2 clients in separate groups; the second round is posted right "
+        "before the switch (straggler grace path)",
+        n_clients=2,
+        group_size=1,
+        warmup=True,
+        requests_per_client=1,
+        rounds=2,
+        gap_ns=11_000,
+        time_slice_ns=15_000,
+        horizon_ns=500_000,
+    ),
+]
+
+SCENARIOS: dict[str, Scenario] = {scenario.name: scenario for scenario in _MATRIX}

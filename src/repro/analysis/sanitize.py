@@ -18,11 +18,14 @@ with instrumented variants and collects violations into a single
 - **Completion queues** (`rdma/cq.py`): no completion is deposited or
   consumed twice, depth never exceeds ``cq.depth``, and every pushed
   completion is accounted for (polled, event-drained, or still queued).
-- **Message pools** (`core/msgpool.py`): an inbound write may not land on
-  an address whose previous message is still *live* (written this epoch
-  and not yet read by the CPU) — virtualized mapping only legally
-  overwrites across epochs.  Slots still live at the end of a run are
-  reported as a statistic, not a violation (in-flight traffic is legal).
+- **Message pools** (`core/msgpool.py`, `baselines/common.py`): an
+  inbound write may not land on an address whose previous message is
+  still *live* (routed/dispatched and not yet read by the CPU).  For
+  ScaleRPC's virtualized pools liveness is epoch-scoped (overwriting
+  across epochs is the design); for the static-region baselines a
+  dedicated per-client region must never overwrite a live message.
+  Slots still live at the end of a run are reported as a statistic, not
+  a violation (in-flight traffic is legal).
 - **Memory system** (`memsys/`): PCIe counters are monotone (sampled
   every few hundred deliveries and at finish), and LLC occupancy never
   exceeds geometry (total lines, per-set ways).
@@ -39,6 +42,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..baselines.common import BaseRpcServer
 from ..core.msgpool import PoolPair
 from ..core.server import ScaleRpcServer
 from ..memsys.llc import LastLevelCache
@@ -153,10 +157,13 @@ class SimSanitizer:
         self._cqs: dict[int, tuple[CompletionQueue, dict[str, Any]]] = {}
         self._pcie: dict[int, list] = {}  # id -> [counters, last_sample|None]
         self._llcs: dict[int, LastLevelCache] = {}
-        # Message-pool liveness: node id -> {addr: (epoch, size)}.
+        # Message-pool liveness: node id -> {addr: (epoch, size)}.  For
+        # the static-region baselines the epoch is None: a dedicated
+        # region never legally overwrites a live message at any time.
         self._node_pools: dict[int, tuple[Node, list[PoolPair]]] = {}
+        self._baseline_nodes: dict[int, Node] = {}
         self._llc_nodes: dict[int, int] = {}
-        self._live: dict[int, dict[int, tuple[int, int]]] = {}
+        self._live: dict[int, dict[int, tuple[Optional[int], int]]] = {}
 
     # -- findings ---------------------------------------------------------
 
@@ -364,9 +371,14 @@ class SimSanitizer:
                     f"CQ {cq.name!r}: completion wr_id={completion.wr_id} "
                     f"pushed while still queued",
                 )
+            accepted_before = cq.pushed
             orig_push(cq, completion)
             if entry is not None:
-                entry[1]["outstanding"].add(id(completion))
+                # A fatal overrun drops the completion (cq.pushed does not
+                # advance): nothing to track, and the overrun itself is the
+                # modelled hardware behaviour, not an accounting violation.
+                if cq.pushed > accepted_before:
+                    entry[1]["outstanding"].add(id(completion))
                 if len(cq) > cq.depth:
                     sanitizer._finding(
                         "cq-overflow",
@@ -474,6 +486,8 @@ class SimSanitizer:
         orig_pair_init = PoolPair.__init__
         orig_deliver = Node.deliver_write
         orig_route = ScaleRpcServer._route
+        orig_base_init = BaseRpcServer.__init__
+        orig_dispatch = BaseRpcServer.dispatch
 
         def pair_init(pair: PoolPair, node: Node, config) -> None:
             orig_pair_init(pair, node, config)
@@ -495,6 +509,23 @@ class SimSanitizer:
                 live[item.addr] = (item.epoch, size)
                 sanitizer._bump("msgpool_routed")
 
+        def base_init(server: BaseRpcServer, node: Node, *args, **kwargs) -> None:
+            orig_base_init(server, node, *args, **kwargs)
+            sanitizer._baseline_nodes[id(node)] = node
+            sanitizer._llc_nodes[id(node.llc)] = id(node)
+            sanitizer._bump("baseline_servers")
+
+        def dispatch(server: BaseRpcServer, request, addr) -> None:
+            # Same contract as _route, for the static-mapping baselines:
+            # a dispatched request is live until a worker's cpu_access
+            # consumes it.  Static regions have no epochs (None sentinel):
+            # any overwrite of a live message is a violation.
+            orig_dispatch(server, request, addr)
+            if addr is not None and id(server.node) in sanitizer._baseline_nodes:
+                live = sanitizer._live.setdefault(id(server.node), {})
+                live[addr] = (None, request.wire_bytes)
+                sanitizer._bump("baseline_dispatched")
+
         def deliver_write(node: Node, event) -> None:
             # Check before delivering: the original call runs the server's
             # watcher, which may route (and thus mark live) this very write.
@@ -514,11 +545,24 @@ class SimSanitizer:
                             f"{pair.epoch}",
                         )
                     break
+            elif id(node) in sanitizer._baseline_nodes:
+                sanitizer._bump("msgpool_writes")
+                live = sanitizer._live.get(id(node))
+                previous = live.get(event.addr) if live else None
+                if previous is not None and previous[0] is None:
+                    sanitizer._finding(
+                        "msgpool-overwrite-live",
+                        f"node {node.name}: write to {event.addr:#x} "
+                        f"overwrites a dispatched, unread message in a "
+                        f"static region",
+                    )
             orig_deliver(node, event)
 
         self._patch(PoolPair, "__init__", pair_init)
         self._patch(Node, "deliver_write", deliver_write)
         self._patch(ScaleRpcServer, "_route", _route)
+        self._patch(BaseRpcServer, "__init__", base_init)
+        self._patch(BaseRpcServer, "dispatch", dispatch)
 
     # -- end-of-run conservation checks -----------------------------------
 

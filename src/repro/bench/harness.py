@@ -132,6 +132,29 @@ def run_multi_seed(experiment: RpcExperiment, seeds=(1, 2, 3)) -> MultiSeedResul
     return MultiSeedResult(results)
 
 
+def _assert_cqs_drained(topo: Topology) -> None:
+    """Exact CQ conservation after the drain phase (always on).
+
+    Graduated from SimSanitizer's end-of-run check, which had to tolerate
+    ``cq_inflight_at_finish`` slack from abandoned closed-loop batches.
+    With the drain phase that slack is gone: every completion pushed on
+    any CQ in the topology must have been consumed through one of the two
+    interfaces, and nothing may remain queued.
+    """
+    seen: set[int] = set()
+    for node in topo.server_nodes + topo.machines:
+        for qp in node.qps:
+            for cq in (qp.send_cq, qp.recv_cq):
+                if id(cq) in seen:
+                    continue
+                seen.add(id(cq))
+                assert cq.pushed == cq.polled + cq.drained and len(cq) == 0, (
+                    f"CQ {cq.name!r} not drained: pushed={cq.pushed}, "
+                    f"polled={cq.polled}, drained={cq.drained}, "
+                    f"queued={len(cq)}"
+                )
+
+
 def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     """Run one closed-loop experiment and return its measurements."""
     topo = Topology.build(
@@ -158,27 +181,39 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     # with batch 8, where a single closed-loop round takes milliseconds.
     window_end = experiment.warmup_ns + 8 * experiment.measure_ns
     recorder = LatencyRecorder()
-    state = {"ops": 0}
+    state = {"ops": 0, "stopping": False, "active": 0}
 
     def driver(sim, client):
         client_rng = rng.stream(f"client.{client.client_id}")
-        while True:
-            if experiment.think_time_fn is not None:
-                delay = experiment.think_time_fn(client.client_id, client_rng)
-                if delay > 0:
-                    yield sim.timeout(delay)
-            batch_start = sim.now
-            handles = []
-            for _ in range(experiment.batch_size):
-                handle = yield from client.async_call(
-                    "bench", payload=None, data_bytes=experiment.data_bytes
-                )
-                handles.append(handle)
-            yield from client.flush()
-            yield from client.poll_completions(handles)
-            if window_start <= batch_start and sim.now <= window_end:
-                recorder.record(sim.now - batch_start)
-                state["ops"] += len(handles)
+        state["active"] += 1
+        try:
+            while not state["stopping"]:
+                if experiment.think_time_fn is not None:
+                    delay = experiment.think_time_fn(client.client_id, client_rng)
+                    if delay > 0:
+                        yield sim.timeout(delay)
+                batch_start = sim.now
+                handles = []
+                for _ in range(experiment.batch_size):
+                    handle = yield from client.async_call(
+                        "bench", payload=None, data_bytes=experiment.data_bytes
+                    )
+                    handles.append(handle)
+                yield from client.flush()
+                yield from client.poll_completions(handles)
+                # Batches completing after the stop flag went up belong to
+                # the drain phase, not the measurement window: excluding
+                # them keeps the measured results identical to a run that
+                # simply abandoned its in-flight batches.
+                if (
+                    window_start <= batch_start
+                    and sim.now <= window_end
+                    and not state["stopping"]
+                ):
+                    recorder.record(sim.now - batch_start)
+                    state["ops"] += len(handles)
+        finally:
+            state["active"] -= 1
 
     for client in clients:
         sim.process(driver(sim, client), name=f"bench.c{client.client_id}")
@@ -198,6 +233,21 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
             break
     counters = monitor.stop()
     window_ns = elapsed
+
+    # Drain phase: drivers stop at their next batch boundary, then the
+    # simulation runs on (counters stopped, recording suppressed) until
+    # every in-flight batch has completed.  This closes the loop on CQ
+    # accounting: at return, every completion ever pushed has been
+    # consumed — pushed == polled + drained with nothing queued — instead
+    # of leaving ~n_clients completions forever in flight.
+    state["stopping"] = True
+    drain_deadline = sim.now + 8 * experiment.measure_ns
+    while state["active"] > 0 and sim.now < drain_deadline:
+        sim.run(until=min(sim.now + experiment.measure_ns, drain_deadline))
+    assert state["active"] == 0, (
+        f"{state['active']} drivers still in flight after the drain phase"
+    )
+    _assert_cqs_drained(topo)
 
     if not len(recorder):
         raise RuntimeError(

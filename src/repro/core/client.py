@@ -19,7 +19,6 @@ pool just after a switch is simply fetched again next round).
 
 from __future__ import annotations
 
-import enum
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..rdma.mr import Access
@@ -36,6 +35,12 @@ from .message import (
     RpcResponse,
 )
 from .msgpool import BlockCursor
+from .protocol import (
+    ClientState,
+    ProtocolEvent,
+    client_transition,
+    fresh_activation,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .server import ScaleRpcServer
@@ -43,14 +48,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["ClientState", "ScaleRpcClient"]
 
 ENTRY_WIRE_BYTES = 16
-
-
-class ClientState(enum.Enum):
-    """Paper Figure 7."""
-
-    IDLE = "IDLE"
-    WARMUP = "WARMUP"
-    PROCESS = "PROCESS"
 
 
 class ScaleRpcClient(RpcClientApi):
@@ -86,6 +83,10 @@ class ScaleRpcClient(RpcClientApi):
         self.state = ClientState.IDLE
         self._binding: Optional[PoolBinding] = None
         self._cursor: Optional[BlockCursor] = None
+        # Sequence number of the last activation we accepted; only a
+        # strictly fresher one may rebind the cursor (protocol freshness
+        # rule).  Never reset — stale pre-switch activations stay stale.
+        self._bound_seq = -1
         self._outstanding: dict[int, CallHandle] = {}
         self._announce_pending = False
         # Stats.
@@ -169,8 +170,7 @@ class ScaleRpcClient(RpcClientApi):
         ]
         if not batch:
             return
-        if self.state is ClientState.IDLE:
-            self.state = ClientState.WARMUP
+        self.state = client_transition(self.state, ProtocolEvent.ANNOUNCE)
         self.machine.store(self.staging.range.base, batch)
         entry = EndpointEntry(
             client_id=self.client_id,
@@ -229,17 +229,12 @@ class ScaleRpcClient(RpcClientApi):
             self._enter_idle()
             return
         if isinstance(payload, ActivationNotice):
-            if (
-                self.state is ClientState.PROCESS
-                and self._binding is not None
-                and self._binding.epoch == payload.binding.epoch
-                and self._binding.slot_base == payload.binding.slot_base
-            ):
-                # Duplicate activation for the slice we already entered:
-                # rebinding would reset the block cursor and a second
-                # repost would overwrite requests the server has not read.
+            if not self._bind(payload.binding):
+                # Duplicate or stale activation (sequence number not
+                # fresh): rebinding would reset the block cursor and a
+                # second repost would overwrite requests the server has
+                # not read yet.
                 return
-            self._bind(payload.binding)
             if self._outstanding:
                 self.sim.process(
                     self._repost_all(), name=f"c{self.client_id}.activate"
@@ -261,14 +256,19 @@ class ScaleRpcClient(RpcClientApi):
         if payload.context_switch:
             self._enter_idle()
 
-    def _bind(self, binding: PoolBinding) -> None:
+    def _bind(self, binding: PoolBinding) -> bool:
+        """Accept a fresh activation (rebinding the block cursor) or drop
+        a duplicate/stale one.  Returns True iff the binding was fresh."""
+        if not fresh_activation(self._bound_seq, binding.seq):
+            return False
+        self._bound_seq = binding.seq
         self._binding = binding
         config = self.server.config
         self._cursor = BlockCursor(
             binding.slot_base, config.block_size, config.blocks_per_client
         )
-        if self.state is not ClientState.PROCESS:
-            self.state = ClientState.PROCESS
+        self.state = client_transition(self.state, ProtocolEvent.ACTIVATE)
+        return True
 
     def _handle_failed(self, response: RpcResponse) -> None:
         """A long RPC was cut by a context switch; resend it (the server
@@ -283,7 +283,7 @@ class ScaleRpcClient(RpcClientApi):
 
     def _enter_idle(self) -> None:
         self.switch_events += 1
-        self.state = ClientState.IDLE
+        self.state = client_transition(self.state, ProtocolEvent.CONTEXT_SWITCH)
         self._binding = None
         self._cursor = None
         if self._outstanding and not self._announce_pending:

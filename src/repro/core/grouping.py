@@ -43,6 +43,9 @@ class ClientContext:
     # Pending warmup entry, if the client announced a batch.
     pending_entry: Optional[object] = None
     warmed_up: bool = False
+    # Activation sequence number stamped into every PoolBinding granted to
+    # this client; bumped once per fresh (non-continuation) slice grant.
+    activation_seq: int = 0
     responded_this_drain: bool = False
     # Server-held cursor over the client's response ring (set at connect).
     response_cursor: Optional[object] = None

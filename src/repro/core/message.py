@@ -92,6 +92,11 @@ class PoolBinding:
     slot_base: int
     slot_bytes: int
     epoch: int
+    #: Per-client activation sequence number (monotone; bumped once per
+    #: fresh slice grant).  The client rebinds its block cursor only on a
+    #: strictly greater value (:func:`repro.core.protocol.fresh_activation`),
+    #: which makes duplicate/stale activations idempotent on the wire.
+    seq: int = 0
 
 
 @dataclass

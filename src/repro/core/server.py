@@ -171,9 +171,12 @@ class ScaleRpcServer(RpcServerApi):
         return client
 
     def disconnect(self, client_id: int) -> None:
-        """Remove a departed client."""
-        self.groups.remove_client(client_id)
+        """Remove a departed client, tearing down both QP endpoints."""
+        ctx = self.groups.remove_client(client_id)
         self._serving_ids.discard(client_id)
+        if ctx.qp.peer is not None:
+            ctx.qp.peer.close()
+        ctx.qp.close()
 
     def endpoint_addr(self, client_id: int) -> int:
         """Address of a client's endpoint entry."""
@@ -310,11 +313,14 @@ class ScaleRpcServer(RpcServerApi):
         cursor = pool.cursor(slot)
         addrs = [cursor.next(wire) for wire in entry.message_sizes]
         scatter = list(zip(addrs, entry.message_sizes))
+        # Unsignaled: the fetch loop consumes wr.completion directly, so a
+        # CQE would sit in the per-client send CQ forever (nobody polls it).
         wr = post_read(
             ctx.qp,
             local_addr=addrs[0] if addrs else pool.slot_base(slot),
             remote_addr=entry.req_addr,
             size=size,
+            signaled=False,
             scatter=scatter,
         )
         completion = yield wr.completion
@@ -410,6 +416,10 @@ class ScaleRpcServer(RpcServerApi):
             ctx.responded_this_drain = False
             if not continuation:
                 ctx.warmed_up = False
+                # Fresh slice grant: bump the activation sequence number
+                # once here (not per send) so re-sends of the same grant
+                # carry the same seq and the client can drop duplicates.
+                ctx.activation_seq += 1
             if not self.config.warmup_enabled:
                 # Faithful no-warmup baseline: no server-side fetching at
                 # all.  Activate the client explicitly; it reposts its
@@ -417,6 +427,16 @@ class ScaleRpcServer(RpcServerApi):
                 # warmup mechanism exists to hide.
                 if not continuation:
                     ctx.pending_entry = None
+                    self._send_activation(ctx, slot)
+                elif not ctx.warmed_up and ctx.pending_entry is not None:
+                    # A member admitted mid-slice announced before it was
+                    # serving; this continuation re-admission is its
+                    # activation point (a fresh grant, so a fresh seq).
+                    # Without this the entry would pend forever: a single
+                    # group never context-switches, and the client only
+                    # re-announces after a switch notice.
+                    ctx.pending_entry = None
+                    ctx.activation_seq += 1
                     self._send_activation(ctx, slot)
                 continue
             # Late announcements from the warmup phase that were never
@@ -437,6 +457,7 @@ class ScaleRpcServer(RpcServerApi):
                 slot_base=self.pools.processing.slot_base(slot),
                 slot_bytes=self.config.slot_bytes,
                 epoch=self.epoch,
+                seq=ctx.activation_seq,
             ),
             epoch=self.epoch,
         )
@@ -580,6 +601,10 @@ class ScaleRpcServer(RpcServerApi):
         failed: bool = False,
     ) -> int:
         """Write the response back; returns the CPU ns to charge."""
+        if not ctx.qp.is_ready:
+            # The connection tore down (disconnect or CQ-overrun fatal
+            # error) while this request was in service; drop the response.
+            return 0
         binding = None
         serving = ctx.client_id in self._serving_ids
         if serving and not ctx.warmed_up and not failed:
@@ -589,6 +614,7 @@ class ScaleRpcServer(RpcServerApi):
                 slot_base=self.pools.processing.slot_base(slot),
                 slot_bytes=self.config.slot_bytes,
                 epoch=self.epoch,
+                seq=ctx.activation_seq,
             )
             ctx.warmed_up = True
         data_bytes = (

@@ -40,29 +40,60 @@ class Completion:
 
 #: Default CQ depth.  Real CQs are created with a fixed ``cqe`` count and
 #: overrun (IBV_EVENT_CQ_ERR) when the application stops polling; our
-#: Store is unbounded, so the depth is an accounting limit that
-#: SimSanitizer enforces rather than a hard failure on the fast path.
+#: Store is unbounded, so by default the depth is an accounting limit
+#: that SimSanitizer enforces.  With ``overrun_fatal=True`` the real
+#: failure mode is modelled: the overflowing completion is lost and every
+#: attached QP transitions to ERROR.
 DEFAULT_CQ_DEPTH = 1 << 16
 
 
 class CompletionQueue:
     """A FIFO of completions with both polling and event interfaces."""
 
-    def __init__(self, sim: Simulator, name: str = "", depth: int = DEFAULT_CQ_DEPTH):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "",
+        depth: int = DEFAULT_CQ_DEPTH,
+        overrun_fatal: bool = False,
+    ):
         if depth < 1:
             raise ValueError(f"CQ depth must be >= 1, got {depth}")
         self.sim = sim
         self.name = name
         self.depth = depth
+        self.overrun_fatal = overrun_fatal
         self._store = Store(sim, name=name)
         self.pushed = 0
         self.polled = 0
+        #: Completions consumed through :meth:`get_event` (the blocking
+        #: interface); ``pushed == polled + drained + len(self)`` always.
+        self.drained = 0
+        #: Completions lost to a fatal overrun (never counted in pushed).
+        self.dropped = 0
+        #: Latched once a fatal overrun occurred (IBV_EVENT_CQ_ERR).
+        self.overran = False
+        #: QPs using this CQ; taken to ERROR on a fatal overrun.
+        self._qps: list = []
 
     def __len__(self) -> int:
         return len(self._store)
 
+    def attach_qp(self, qp) -> None:
+        """Register a QP as a user of this CQ (for overrun error fanout)."""
+        self._qps.append(qp)
+
     def push(self, completion: Completion) -> None:
         """Deposit a completion (called by the verb layer)."""
+        if self.overrun_fatal and len(self._store) >= self.depth:
+            # CQ overrun: the HCA has nowhere to write the CQE.  Real
+            # hardware raises IBV_EVENT_CQ_ERR and the associated QPs
+            # enter the error state; the completion is lost.
+            self.overran = True
+            self.dropped += 1
+            for qp in self._qps:
+                qp.to_error()
+            return
         self.pushed += 1
         self._store.put(completion)
 
@@ -79,4 +110,10 @@ class CompletionQueue:
 
     def get_event(self) -> Event:
         """Event triggering with the next completion (for sim processes)."""
-        return self._store.get()
+        event = self._store.get()
+        event.add_callback(self._count_drained)
+        return event
+
+    def _count_drained(self, event: Event) -> None:
+        if event.ok:
+            self.drained += 1

@@ -105,6 +105,9 @@ class QueuePair:
             recv_cq = CompletionQueue(node.sim, name=f"qp{self.qp_num}.rcq")
         self.send_cq = send_cq
         self.recv_cq = recv_cq
+        send_cq.attach_qp(self)
+        if recv_cq is not send_cq:
+            recv_cq.attach_qp(self)
         self.max_send_wr = max_send_wr
         self.max_recv_wr = max_recv_wr
         self.recv_queue: deque[RecvWqe] = deque()
@@ -163,6 +166,26 @@ class QueuePair:
         if self.transport is not Transport.UD:
             raise QpError("address handles are a UD concept")
         return AddressHandle(self.node, self.qp_num)
+
+    def to_error(self) -> None:
+        """Force the QP into ERROR (CQ overrun, async fatal events)."""
+        if self._state is not QpState.ERROR:
+            self.state = QpState.ERROR
+
+    def close(self) -> None:
+        """Tear the QP down (``ibv_destroy_qp`` analogue).
+
+        Receive-WQE conservation is asserted always-on here (graduated
+        from SimSanitizer): every posted buffer is either consumed or
+        still queued — a mismatch means a receive was lost or double
+        counted somewhere upstream.
+        """
+        assert self.recvs_posted == self.recvs_consumed + len(self.recv_queue), (
+            f"QP {self.qp_num}: recv WQE conservation broken at teardown: "
+            f"posted={self.recvs_posted} != consumed={self.recvs_consumed} "
+            f"+ queued={len(self.recv_queue)}"
+        )
+        self.to_error()
 
     def post_recv_wqe(self, wqe: RecvWqe) -> None:
         """Queue a receive buffer (``ibv_post_recv``)."""

@@ -311,6 +311,14 @@ class Simulator:
         self._ready: deque[Event] = deque()
         self._seq = 0
         self._running = False
+        #: Optional tie-break hook over the same-instant ready set,
+        #: consulted only by :meth:`step` (never by the ``run()`` hot
+        #: loop): ``tiebreak(ready)`` returns the index of the event to
+        #: deliver next.  ``None`` (the default) keeps FIFO order.  The
+        #: schedule-space model checker (:mod:`repro.analysis.mc`) uses
+        #: this to enumerate orderings of commutable same-instant events;
+        #: ordinary simulations never set it.
+        self.tiebreak: Optional[Callable[["deque[Event]"], int]] = None
 
     # -- scheduling -----------------------------------------------------
 
@@ -354,22 +362,35 @@ class Simulator:
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
-        """Deliver the next event's callbacks, advancing time."""
+        """Deliver the next event's callbacks, advancing time.
+
+        Unlike the ``run()`` hot loop, ``step`` consults the optional
+        :attr:`tiebreak` hook when several same-instant events are ready,
+        letting a driver (the model checker) choose the delivery order.
+        With ``tiebreak`` unset the delivered order is identical to
+        ``run()``'s FIFO order.
+        """
         ready = self._ready
-        if ready:
-            ready.popleft()._deliver()
-            return
-        queue = self._queue
-        at, _seq, event = heapq.heappop(queue)
-        if at < self.now:
-            raise SimulationError("time went backwards")
-        self.now = at
-        # Pull the remaining heap entries at this instant into the ready
-        # FIFO now: they were scheduled before anything the delivery below
-        # may post, and must run first.
-        while queue and queue[0][0] == at:
-            ready.append(heapq.heappop(queue)[2])
-        event._deliver()
+        if not ready:
+            queue = self._queue
+            at, _seq, event = heapq.heappop(queue)
+            if at < self.now:
+                raise SimulationError("time went backwards")
+            self.now = at
+            # Pull every heap entry at the new instant into the ready
+            # FIFO: they were scheduled before anything the deliveries
+            # below may post, and by default must run first.
+            ready.append(event)
+            while queue and queue[0][0] == at:
+                ready.append(heapq.heappop(queue)[2])
+        if self.tiebreak is not None and len(ready) > 1:
+            index = self.tiebreak(ready)
+            if index:
+                event = ready[index]
+                del ready[index]
+                event._deliver()
+                return
+        ready.popleft()._deliver()
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``.

@@ -72,6 +72,12 @@ class Resource:
             event.succeed(self)
         else:
             self._waiters.append(event)
+        # Occupancy bound, always on (graduated from SimSanitizer): a
+        # grant may never push occupancy past capacity or below zero.
+        assert 0 <= self._in_use <= self.capacity, (
+            f"resource {self.name!r}: in_use={self._in_use} "
+            f"outside [0, {self.capacity}]"
+        )
         return event
 
     def release(self) -> None:
@@ -84,6 +90,10 @@ class Resource:
         else:
             self._in_use -= 1
             self._note_busy_edge()
+        assert 0 <= self._in_use <= self.capacity, (
+            f"resource {self.name!r}: in_use={self._in_use} "
+            f"outside [0, {self.capacity}]"
+        )
 
     def use(self, duration: int) -> Generator:
         """Acquire a slot, hold it for ``duration`` ns, release it.

@@ -1,0 +1,105 @@
+"""The schedule-space model checker (repro.analysis.mc).
+
+Every test carries ``no_sanitize``: the explorer installs its own
+SimSanitizer per execution (and deliberately breaks FIFO delivery), so
+the conftest-level instance must stay out of the way.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.mc import SCENARIOS, Explorer, replay
+from repro.analysis.mc.__main__ import main as mc_main
+
+pytestmark = pytest.mark.no_sanitize
+
+
+def test_scenario_matrix_covers_the_issue_shapes():
+    names = sorted(SCENARIOS)
+    assert "nowarm-2c-1g" in names
+    assert any("midjoin" in name for name in names)  # mid-slice join
+    assert any("straggler" in name for name in names)  # straggler client
+    assert any(name.startswith("warm-") for name in names)  # context switch
+
+
+def test_empty_schedule_is_deterministic():
+    explorer = Explorer(SCENARIOS["nowarm-2c-1g"])
+    first = explorer.run_one()
+    second = explorer.run_one()
+    assert first.ok and first.done
+    assert (first.schedule, first.steps, first.sim_now) == (
+        second.schedule,
+        second.steps,
+        second.sim_now,
+    )
+
+
+def test_nowarm_2c_1g_exhausts_with_many_schedules_and_no_violations():
+    """ISSUE acceptance: the smallest scenario exhausts clean (>1 schedule)."""
+    report = Explorer(SCENARIOS["nowarm-2c-1g"]).explore(max_schedules=800)
+    assert report.exhausted
+    assert report.schedules > 1
+    assert report.ok, report.render()
+
+
+def test_buggy_variant_is_flagged_with_replayable_artifact(tmp_path):
+    """ISSUE acceptance + S5: the resurrected double-activation race is
+    caught, and its artifact replays to the same violation."""
+    scenario = SCENARIOS["nowarm-2c-1g"]
+    report = Explorer(scenario, buggy=True).explore(
+        max_schedules=5, artifact_dir=tmp_path
+    )
+    assert not report.ok
+    rules = {
+        violation.rule
+        for execution in report.violating
+        for violation in execution.violations
+    }
+    assert "duplicate-activation" in rules or "stale-rebind" in rules
+    assert report.artifacts
+
+    artifact = report.artifacts[0]
+    doc = json.loads(open(artifact).read())
+    assert doc["scenario"] == scenario.name and doc["buggy"] is True
+
+    replayed = replay(scenario, artifact)
+    assert [v.rule for v in replayed.violations] == [
+        v["rule"] for v in doc["violations"]
+    ]
+
+
+def test_fixed_code_passes_the_schedule_that_breaks_the_buggy_variant(tmp_path):
+    """S5: the historical race's counterexample schedule is clean on the
+    fixed protocol — the regression is pinned to the guard, not the world."""
+    scenario = SCENARIOS["nowarm-2c-1g"]
+    report = Explorer(scenario, buggy=True).explore(
+        max_schedules=5, artifact_dir=tmp_path
+    )
+    assert not report.ok
+    counterexample = report.violating[0].schedule
+    fixed = replay(scenario, counterexample, buggy=False)
+    assert fixed.ok, [v.rule for v in fixed.violations]
+
+
+def test_cli_single_scenario_returns_zero(capsys):
+    assert mc_main(["--scenario", "nowarm-2c-1g", "--max-schedules", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "mc[nowarm-2c-1g]" in out
+
+
+def test_cli_buggy_mode_passes_on_detection(capsys):
+    assert (
+        mc_main(
+            ["--scenario", "nowarm-2c-1g", "--buggy", "--max-schedules", "5"]
+        )
+        == 0
+    )
+    assert "flagged as expected" in capsys.readouterr().out
+
+
+def test_cli_list(capsys):
+    assert mc_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in SCENARIOS:
+        assert name in out

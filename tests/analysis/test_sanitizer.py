@@ -159,3 +159,54 @@ def test_sanitizer_is_additive():
     assert sanitized.window_ns == plain.window_ns
     assert sanitized.throughput_mops == plain.throughput_mops
     assert sanitized.latency == plain.latency
+
+
+def test_static_region_overwrite_while_live_reported():
+    """S1: the liveness rule covers the static-mapping baselines too —
+    a write landing on a dispatched-but-unread request is flagged."""
+    from repro.core.message import RpcRequest
+    from repro.rdma.node import InboundWrite
+    from repro.transport import Topology
+
+    def body():
+        topo = Topology.build(n_client_machines=1, seed=3)
+        server = topo.build_server("rawwrite", lambda request: request.payload)
+        client = server.connect(topo.machines[0])
+        server.start()
+        addr = server.bindings[client.client_id].request_region.range.base
+        request = RpcRequest(client_id=client.client_id, rpc_type="bench")
+        server.dispatch(request, addr)  # live: no worker has read it yet
+        topo.server_node.deliver_write(
+            InboundWrite(addr=addr, size=request.wire_bytes, payload=request,
+                         imm_data=None, src_qp_num=0, time_ns=0)
+        )
+
+    _, report = sanitized_run(body)
+    assert report.rule_counts.get("msgpool-overwrite-live") == 1
+    # Two dispatches: the explicit one plus the delivered write reaching
+    # the server's own request watcher.
+    assert report.stats.get("baseline_dispatched") == 2
+
+
+def test_static_region_overwrite_after_read_is_legal():
+    """The worker's cpu_access consumes liveness; later reuse is fine."""
+    from repro.core.message import RpcRequest
+    from repro.rdma.node import InboundWrite
+    from repro.transport import Topology
+
+    def body():
+        topo = Topology.build(n_client_machines=1, seed=3)
+        server = topo.build_server("rawwrite", lambda request: request.payload)
+        client = server.connect(topo.machines[0])
+        server.start()
+        addr = server.bindings[client.client_id].request_region.range.base
+        request = RpcRequest(client_id=client.client_id, rpc_type="bench")
+        server.dispatch(request, addr)
+        topo.sim.run()  # the worker reads (and answers) the request
+        topo.server_node.deliver_write(
+            InboundWrite(addr=addr, size=request.wire_bytes, payload=request,
+                         imm_data=None, src_qp_num=0, time_ns=0)
+        )
+
+    _, report = sanitized_run(body)
+    assert "msgpool-overwrite-live" not in report.rule_counts

@@ -93,3 +93,43 @@ class TestMultiSeed:
         assert result.spread_mops >= 0
         assert result.results[0].experiment.seed == 1
         assert result.results[1].experiment.seed == 2
+
+
+class TestDrainPhase:
+    @pytest.mark.no_sanitize  # manages its own sanitizer via sanitized_run
+    def test_experiment_ends_with_zero_inflight_completions(self):
+        """The drain phase closes CQ accounting exactly: the sanitizer's
+        old ~n_clients in-flight slack is gone."""
+        from repro.analysis.sanitize import sanitized_run
+
+        experiment = RpcExperiment(
+            system="scalerpc",
+            n_clients=6,
+            n_client_machines=2,
+            group_size=6,
+            warmup_ns=100_000,
+            measure_ns=300_000,
+            seed=5,
+        )
+        result, report = sanitized_run(lambda: run_rpc_experiment(experiment))
+        assert result.completed_ops > 0
+        assert report.ok, report.render()
+        assert "cq_inflight_at_finish" not in report.stats
+
+    def test_drain_does_not_change_measured_results(self):
+        """Two identical runs agree (the drain phase is post-measurement
+        and deterministic, so this also guards against drain-time state
+        leaking into the recorded window)."""
+        experiment = RpcExperiment(
+            system="herd",
+            n_clients=4,
+            n_client_machines=2,
+            warmup_ns=100_000,
+            measure_ns=300_000,
+            seed=9,
+        )
+        first = run_rpc_experiment(experiment)
+        second = run_rpc_experiment(experiment)
+        assert first.throughput_mops == second.throughput_mops
+        assert first.latency == second.latency
+        assert first.completed_ops == second.completed_ops

@@ -1,0 +1,54 @@
+"""The declarative group-activation protocol shared by server/client/checker."""
+
+import pytest
+
+from repro.core.protocol import (
+    CLIENT_TRANSITIONS,
+    ClientState,
+    ProtocolError,
+    ProtocolEvent,
+    client_transition,
+    fresh_activation,
+)
+
+
+def test_announce_from_idle_enters_warmup():
+    assert client_transition(ClientState.IDLE, ProtocolEvent.ANNOUNCE) is ClientState.WARMUP
+
+
+def test_reannounce_while_warming_is_legal():
+    assert client_transition(ClientState.WARMUP, ProtocolEvent.ANNOUNCE) is ClientState.WARMUP
+
+
+def test_activation_reaches_process_from_any_state():
+    for state in ClientState:
+        assert client_transition(state, ProtocolEvent.ACTIVATE) is ClientState.PROCESS
+
+
+def test_context_switch_returns_to_idle_from_any_state():
+    for state in ClientState:
+        assert client_transition(state, ProtocolEvent.CONTEXT_SWITCH) is ClientState.IDLE
+
+
+def test_announce_while_processing_is_illegal():
+    with pytest.raises(ProtocolError):
+        client_transition(ClientState.PROCESS, ProtocolEvent.ANNOUNCE)
+
+
+def test_transition_table_is_the_single_source_of_truth():
+    # Every (state, event) pair is either in the table or raises; there is
+    # no silent default.
+    for state in ClientState:
+        for event in ProtocolEvent:
+            if (state, event) in CLIENT_TRANSITIONS:
+                client_transition(state, event)
+            else:
+                with pytest.raises(ProtocolError):
+                    client_transition(state, event)
+
+
+def test_fresh_activation_is_strictly_monotone():
+    assert fresh_activation(-1, 0)
+    assert fresh_activation(0, 1)
+    assert not fresh_activation(1, 1)  # duplicate notice
+    assert not fresh_activation(2, 1)  # stale notice

@@ -1,0 +1,125 @@
+"""CQ overrun as a hard failure, and the graduated always-on asserts.
+
+A real CQ is created with a fixed ``cqe`` count; when the application
+stops polling and the HCA runs out of CQE slots it raises
+IBV_EVENT_CQ_ERR and the attached QPs enter the error state.  With
+``overrun_fatal=True`` the model reproduces that failure mode instead of
+treating depth as a soft accounting limit.
+"""
+
+import pytest
+
+from repro.rdma import Transport
+from repro.rdma.cq import CompletionQueue
+from repro.rdma.verbs import VerbError, post_recv, post_write
+from repro.sim.engine import SimulationError
+
+
+def _connected_pair_with_scq(nodes, depth, overrun_fatal):
+    a, b = nodes
+    scq = CompletionQueue(a.sim, name="client.scq", depth=depth,
+                          overrun_fatal=overrun_fatal)
+    qp_a = a.create_qp(Transport.RC, send_cq=scq)
+    qp_b = b.create_qp(Transport.RC)
+    qp_a.connect(qp_b)
+    return qp_a, qp_b, scq
+
+
+def _post_signaled_writes(sim, qp_a, qp_b, count):
+    region = qp_b.node.register_memory(4096)
+    for i in range(count):
+        post_write(qp_a, local_addr=0, remote_addr=region.range.base,
+                   size=64, payload=i)
+    sim.run()
+
+
+def test_stopped_polling_client_overruns_and_kills_qp(sim, nodes):
+    """A client that stops polling its send CQ loses the connection."""
+    qp_a, qp_b, scq = _connected_pair_with_scq(nodes, depth=4, overrun_fatal=True)
+    _post_signaled_writes(sim, qp_a, qp_b, count=7)
+
+    assert scq.overran
+    assert scq.dropped == 3
+    assert scq.pushed == 4  # dropped completions are never counted pushed
+    assert scq.pushed == scq.polled + scq.drained + len(scq)
+    assert not qp_a.is_ready  # IBV_EVENT_CQ_ERR -> QP ERROR
+    # Further posts on the broken QP are rejected outright.
+    with pytest.raises(VerbError):
+        post_write(qp_a, local_addr=0, remote_addr=0, size=64)
+
+
+@pytest.mark.no_sanitize  # exceeding depth IS the cq-overflow finding
+def test_default_cq_keeps_accounting_semantics(sim, nodes):
+    """Without the flag, depth stays a soft limit: nothing is dropped."""
+    qp_a, qp_b, scq = _connected_pair_with_scq(nodes, depth=4, overrun_fatal=False)
+    _post_signaled_writes(sim, qp_a, qp_b, count=7)
+
+    assert not scq.overran
+    assert scq.dropped == 0
+    assert scq.pushed == 7
+    assert len(scq) == 7  # over depth; SimSanitizer's cq-overflow territory
+    assert qp_a.is_ready
+
+
+def test_overrun_only_kills_attached_qps(sim, nodes):
+    """The peer QP uses its own CQs and survives the client's overrun."""
+    qp_a, qp_b, _scq = _connected_pair_with_scq(nodes, depth=1, overrun_fatal=True)
+    _post_signaled_writes(sim, qp_a, qp_b, count=3)
+    assert not qp_a.is_ready
+    assert qp_b.is_ready
+
+
+def test_drained_counter_balances_event_interface(sim, nodes):
+    """pushed == polled + drained + queued holds across both interfaces."""
+    qp_a, qp_b, scq = _connected_pair_with_scq(nodes, depth=64, overrun_fatal=False)
+    region = qp_b.node.register_memory(4096)
+    seen = []
+
+    def consumer(sim):
+        for _ in range(2):
+            completion = yield scq.get_event()
+            seen.append(completion.wr_id)
+
+    sim.process(consumer(sim), name="consumer")
+    for i in range(5):
+        post_write(qp_a, local_addr=0, remote_addr=region.range.base,
+                   size=64, payload=i)
+    sim.run()
+
+    assert scq.drained == 2
+    scq.poll()
+    assert scq.polled == 3
+    assert scq.pushed == scq.polled + scq.drained + len(scq) == 5
+
+
+def test_qp_close_asserts_recv_wqe_conservation(sim, nodes):
+    a, _b = nodes
+    qp = a.create_qp(Transport.UD)
+    region = a.register_memory(4096)
+    for i in range(3):
+        post_recv(qp, region.range.base + 64 * i, 64)
+    qp.consume_recv_wqe()
+    qp.close()  # 3 posted == 1 consumed + 2 queued
+    assert not qp.is_ready
+
+
+@pytest.mark.no_sanitize  # deliberately corrupts QP accounting
+def test_qp_close_catches_lost_receive(sim, nodes):
+    a, _b = nodes
+    qp = a.create_qp(Transport.UD)
+    region = a.register_memory(4096)
+    post_recv(qp, region.range.base, 64)
+    qp.recv_queue.clear()  # a receive vanishes without being consumed
+    with pytest.raises(AssertionError, match="recv WQE conservation"):
+        qp.close()
+
+
+@pytest.mark.no_sanitize  # deliberately corrupts resource occupancy
+def test_resource_occupancy_assert_is_always_on(sim):
+    from repro.sim.resources import Resource
+
+    resource = Resource(sim, capacity=2, name="pipeline")
+    resource.request()
+    resource._in_use = 7  # corruption: occupancy beyond capacity
+    with pytest.raises((AssertionError, SimulationError)):
+        resource.request()

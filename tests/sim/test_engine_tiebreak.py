@@ -1,0 +1,84 @@
+"""The step() tie-break hook used by the schedule-space model checker."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.resources import Store
+
+
+def _drain(sim):
+    while sim.peek() is not None:
+        sim.step()
+
+
+def run_with_tiebreak(tiebreak):
+    """Three processes wake at the same instant and append their tag."""
+    sim = Simulator()
+    order = []
+    store_a, store_b, store_c = Store(sim), Store(sim), Store(sim)
+
+    def waiter(store, tag):
+        yield store.get()
+        order.append(tag)
+
+    sim.process(waiter(store_a, "a"), name="a")
+    sim.process(waiter(store_b, "b"), name="b")
+    sim.process(waiter(store_c, "c"), name="c")
+
+    def kicker(sim):
+        yield sim.timeout(10)
+        store_a.put(1)
+        store_b.put(2)
+        store_c.put(3)
+
+    sim.process(kicker(sim), name="kick")
+    sim.tiebreak = tiebreak
+    _drain(sim)
+    return order
+
+
+def test_default_is_fifo():
+    assert run_with_tiebreak(None) == ["a", "b", "c"]
+
+
+def test_zero_choice_matches_fifo():
+    calls = []
+
+    def first(ready):
+        calls.append(len(ready))
+        return 0
+
+    assert run_with_tiebreak(first) == ["a", "b", "c"]
+    assert calls  # the hook was consulted
+
+
+@pytest.mark.no_sanitize  # reordering is the point; fifo-order would fire
+def test_tiebreak_reorders_same_instant_events():
+    def last(ready):
+        return len(ready) - 1
+
+    order = run_with_tiebreak(last)
+    assert sorted(order) == ["a", "b", "c"]
+    assert order != ["a", "b", "c"]
+
+
+def test_step_equals_run_without_hook():
+    def world():
+        sim = Simulator()
+        log = []
+
+        def proc(sim, tag, delay):
+            yield sim.timeout(delay)
+            log.append((tag, sim.now))
+            yield sim.timeout(delay)
+            log.append((tag, sim.now))
+
+        for tag, delay in (("x", 5), ("y", 5), ("z", 7)):
+            sim.process(proc(sim, tag, delay), name=tag)
+        return sim, log
+
+    sim_run, log_run = world()
+    sim_run.run()
+    sim_step, log_step = world()
+    _drain(sim_step)
+    assert log_run == log_step

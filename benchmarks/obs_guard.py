@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI perf guard for repro.obs (DESIGN.md section 9).
+
+Checks three properties of one fixed-seed Fig-8 point (ScaleRPC, 40
+clients, seed 1) and exits non-zero if any fails:
+
+1. **Identity, hooks off vs on** — enabling the observer must not change
+   a single simulated number (throughput, latency stats, PCM counters).
+2. **Identity vs baseline** — both runs must match the simulated block
+   recorded under ``runs[<label>]`` in ``BENCH_quick.json``, i.e. the
+   instrumentation pass did not perturb the model.
+3. **Disabled-hooks overhead** — wall-clock of the hooks-off run stays
+   within ``--budget`` (default 5%) of the recorded baseline, after
+   calibrating for machine speed via the kernel token-ring probe (the
+   baseline records its own ring events/sec, so a slower or faster CI
+   machine cancels out).
+
+It also writes a Perfetto-loadable Chrome trace of the obs-enabled run
+(``--trace-out``), validated before writing, so CI can upload it as an
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_guard.py \
+        --trace-out /tmp/obs_fig8.trace.json
+
+The budget can be relaxed on noisy runners via ``OBS_GUARD_BUDGET``
+(a fraction, e.g. ``0.10``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from quick_bench import bench_kernel  # noqa: E402
+
+from repro.bench import RpcExperiment, run_rpc_experiment  # noqa: E402
+from repro.obs import validate_chrome_trace, to_chrome_trace  # noqa: E402
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_quick.json"
+
+
+def fig8_point(obs_enabled: bool) -> tuple[float, dict, dict | None]:
+    """One fixed-seed Fig-8 run: (wall seconds, simulated block, obs artifact)."""
+    experiment = RpcExperiment(
+        system="scalerpc", n_clients=40, seed=1, obs_enabled=obs_enabled
+    )
+    start = time.perf_counter()
+    result = run_rpc_experiment(experiment)
+    wall_s = time.perf_counter() - start
+    simulated = {
+        "throughput_mops": result.throughput_mops,
+        "latency": asdict(result.latency),
+        "counters": asdict(result.counters),
+        "completed_ops": result.completed_ops,
+        "window_ns": result.window_ns,
+    }
+    return wall_s, simulated, result.obs
+
+
+def canon(simulated: dict) -> str:
+    return json.dumps(simulated, sort_keys=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--baseline-label", default="pre_obs",
+                        help="runs[...] label in the baseline file")
+    parser.add_argument("--budget", type=float,
+                        default=float(os.environ.get("OBS_GUARD_BUDGET", "0.05")),
+                        help="max disabled-hooks overhead as a fraction")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="hooks-off repetitions (min wall is used)")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="write a validated Perfetto trace of the"
+                             " obs-enabled run here")
+    args = parser.parse_args()
+
+    baseline_doc = json.loads(args.baseline.read_text())
+    baseline = baseline_doc["runs"][args.baseline_label]
+    base_wall = baseline["fig8_point"]["wall_s"]
+    base_eps = baseline["kernel"]["events_per_sec"]
+    base_sim = canon(baseline["fig8_point"]["simulated"])
+
+    kernel = bench_kernel()
+    eps_now = kernel["events_per_sec"]
+    speed_ratio = base_eps / eps_now
+    expected_wall = base_wall * speed_ratio
+    print(f"machine calibration: ring {eps_now:,} events/s now vs "
+          f"{base_eps:,} at baseline ({speed_ratio:.3f}x expected wall scale)")
+
+    disabled_walls = []
+    disabled_sim = None
+    for _ in range(max(1, args.reps)):
+        wall, simulated, _ = fig8_point(obs_enabled=False)
+        disabled_walls.append(wall)
+        disabled_sim = canon(simulated)
+    enabled_wall, enabled_simulated, artifact = fig8_point(obs_enabled=True)
+    enabled_sim = canon(enabled_simulated)
+
+    disabled_min = min(disabled_walls)
+    overhead = disabled_min / expected_wall - 1.0
+    print(f"hooks-off fig8 walls: {[round(w, 3) for w in disabled_walls]} s "
+          f"(min {disabled_min:.3f}), calibrated baseline {expected_wall:.3f} s "
+          f"-> overhead {overhead * 100:+.1f}% (budget {args.budget * 100:.0f}%)")
+    print(f"hooks-on  fig8 wall: {enabled_wall:.3f} s "
+          f"({artifact['meta']['dropped']} obs records dropped)")
+
+    failures = []
+    if disabled_sim != enabled_sim:
+        failures.append("simulated results differ between hooks-off and"
+                        " hooks-on runs (the observer perturbed the model)")
+    if disabled_sim != base_sim:
+        failures.append(f"simulated results differ from the"
+                        f" runs[{args.baseline_label!r}] baseline in"
+                        f" {args.baseline}")
+    if overhead > args.budget:
+        failures.append(f"disabled-hooks overhead {overhead * 100:.1f}% exceeds"
+                        f" the {args.budget * 100:.0f}% budget"
+                        f" (set OBS_GUARD_BUDGET to relax on noisy runners)")
+
+    if args.trace_out is not None:
+        trace = to_chrome_trace(artifact)
+        problems = validate_chrome_trace(trace)
+        if problems:
+            failures.append(f"Chrome trace failed validation: {problems[:3]}")
+        else:
+            args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+            args.trace_out.write_text(json.dumps(trace) + "\n")
+            print(f"wrote Perfetto trace (valid, "
+                  f"{len(trace['traceEvents'])} events) to {args.trace_out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("obs guard: simulated identity holds (off == on == baseline),"
+          " overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

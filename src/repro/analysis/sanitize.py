@@ -172,6 +172,14 @@ class SimSanitizer:
         self.report.rule_counts[rule] = count
         if count <= MAX_FINDINGS_PER_RULE:
             self.report.findings.append(SanitizerFinding(rule, message))
+            # Violations land in the trace too (as instants on their own
+            # track), so a Perfetto view shows *when* an invariant broke
+            # relative to the message flow around it.
+            from ..obs import current as _obs_current
+
+            obs = _obs_current()
+            if obs is not None:
+                obs.instant("sanitizer", rule, obs.now(), {"message": message})
 
     def _bump(self, stat: str, by: int = 1) -> None:
         self.report.stats[stat] = self.report.stats.get(stat, 0) + by

@@ -44,6 +44,11 @@ class BaselineConfig:
     recv_depth: int = 512  # pre-posted receives per UD queue pair
     recv_buf_bytes: int = 256  # per-receive buffer (FaSST-style small SGEs)
     costs: CpuCostModel = field(default_factory=CpuCostModel)
+    #: Give client-side UD endpoints a bounded receive CQ that raises
+    #: IBV_EVENT_CQ_ERR on overrun (the fatal-overrun sweep): a client
+    #: that stops polling kills its own response path instead of absorbing
+    #: unbounded completions.
+    cq_overrun_fatal: bool = False
 
     def __post_init__(self):
         if self.block_size < 64:
@@ -137,6 +142,9 @@ class BaseRpcServer(RpcServerApi):
 
     def dispatch(self, request: RpcRequest, addr: Optional[int]) -> None:
         """Route an arrived request to its worker thread."""
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.rpc_stage(request.req_id, "dispatch", self.sim.now)
         self._stores[self.worker_index(request.client_id)].put((request, addr))
 
     # -- execution ---------------------------------------------------------------
@@ -149,6 +157,10 @@ class BaseRpcServer(RpcServerApi):
             if binding is None:
                 self.stats.dropped += 1
                 continue
+            obs = self.node.fabric.obs
+            start = self.sim.now
+            if obs is not None:
+                obs.rpc_stage(request.req_id, "exec", start)
             cost = self.config.costs.server_request_ns
             if addr is not None:
                 cost += self.node.llc.cpu_access(addr, request.wire_bytes).cost_ns
@@ -173,6 +185,12 @@ class BaseRpcServer(RpcServerApi):
             yield self.sim.timeout(write_cost)
             self._send_response(binding, response)
             self.stats.completed += 1
+            if obs is not None:
+                obs.rpc_stage(request.req_id, "done", self.sim.now)
+                obs.span(
+                    f"server.{self.node.name}.worker{index}",
+                    request.rpc_type, start, self.sim.now,
+                )
 
     def _response_scratch(self, size: int) -> int:
         return self._scratch_cursor.next(size)
@@ -218,6 +236,9 @@ class BaseRpcClient(RpcClientApi):
         )
         handle = CallHandle(request, self.sim.event(), posted_ns=self.sim.now)
         self.outstanding[request.req_id] = handle
+        obs = self.machine.fabric.obs
+        if obs is not None:
+            obs.rpc_stage(request.req_id, "post", self.sim.now)
         yield from self._cpu_backpressure()
         yield from self.machine.cpu.use(self._post_ns)
         self._post_request(request)
@@ -242,6 +263,10 @@ class BaseRpcClient(RpcClientApi):
     # -- response delivery (called by transport-specific receive paths) ------------
 
     def deliver(self, response: Any) -> None:
+        if self._stopped:
+            # The client's polling loop is dead; the response is never
+            # consumed (its completion rots in whatever queue carried it).
+            return
         handle = self.outstanding.pop(response.req_id, None)
         if handle is None:
             return
@@ -249,6 +274,9 @@ class BaseRpcClient(RpcClientApi):
         handle.completed_ns = self.sim.now
         handle.event.succeed(response)
         self.completed += 1
+        obs = self.machine.fabric.obs
+        if obs is not None:
+            obs.rpc_stage(response.req_id, "complete", self.sim.now)
 
 
 class UdEndpoint:
@@ -262,14 +290,24 @@ class UdEndpoint:
     server-side footprint LLC-resident regardless of client count.
     """
 
-    def __init__(self, node: Node, depth: int, buf_bytes: int, on_receive):
+    def __init__(self, node: Node, depth: int, buf_bytes: int, on_receive,
+                 overrun_fatal: bool = False):
         self.node = node
-        self.qp = node.create_qp(Transport.UD, max_recv_wr=depth + 1)
+        kwargs = {}
+        if overrun_fatal:
+            from ..rdma.cq import CompletionQueue
+
+            kwargs["recv_cq"] = CompletionQueue(
+                node.sim, name=f"{node.name}.ud.rcq", depth=depth,
+                overrun_fatal=True,
+            )
+        self.qp = node.create_qp(Transport.UD, max_recv_wr=depth + 1, **kwargs)
         self.depth = depth
         self.buf_bytes = buf_bytes
         self.on_receive = on_receive
         self.region = node.register_memory(depth * buf_bytes)
         self._next_slot = 0
+        self._stopped = False
         from ..rdma.verbs import post_recv
 
         for i in range(depth):
@@ -281,11 +319,23 @@ class UdEndpoint:
         """Address handle peers use to send to this endpoint."""
         return self.qp.address_handle()
 
+    def stop(self) -> None:
+        """Stop the listener: the endpoint's owner no longer polls its CQ.
+
+        Takes effect at the listener's next wakeup (the flag is checked
+        after each CQ event), after which completions pile up unconsumed —
+        with ``overrun_fatal`` the recv CQ eventually overruns and errors
+        out every attached QP.
+        """
+        self._stopped = True
+
     def _listener(self) -> Generator:
         from ..rdma.verbs import post_recv
 
         while True:
             completion = yield self.qp.recv_cq.get_event()
+            if self._stopped:
+                return
             post_recv(
                 self.qp,
                 self.region.range.base + self._next_slot * self.buf_bytes,

@@ -76,7 +76,15 @@ class FasstClient(BaseRpcClient):
             depth=server.config.recv_depth,
             buf_bytes=server.config.recv_buf_bytes,
             on_receive=self._on_receive,
+            overrun_fatal=server.config.cq_overrun_fatal,
         )
+
+    def stop_polling(self) -> None:
+        """Stop the UD listener: with ``cq_overrun_fatal`` the recv CQ
+        overruns and errors out the client's only QP, so even its posting
+        path dies (FaSST shares one UD QP for both directions)."""
+        super().stop_polling()
+        self.ud.stop()
 
     def _post_request(self, request: RpcRequest) -> None:
         post_send(

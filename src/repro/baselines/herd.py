@@ -81,6 +81,7 @@ class HerdClient(BaseRpcClient):
             depth=server.config.recv_depth,
             buf_bytes=server.config.recv_buf_bytes,
             on_receive=self._on_receive,
+            overrun_fatal=server.config.cq_overrun_fatal,
         )
         self._cursor = BlockCursor(
             request_region.range.base,
@@ -97,6 +98,13 @@ class HerdClient(BaseRpcClient):
             payload=request,
             signaled=False,
         )
+
+    def stop_polling(self) -> None:
+        """Stop the UD listener too: responses pile up in the recv CQ
+        (fatal under ``cq_overrun_fatal``); the UC request QP is separate
+        and keeps posting."""
+        super().stop_polling()
+        self.ud.stop()
 
     def _on_receive(self, completion) -> None:
         if isinstance(completion.payload, RpcResponse):

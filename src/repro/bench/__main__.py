@@ -16,6 +16,7 @@ import sys
 import time
 
 from .experiments import ALL_FIGURES, run_figure
+from .harness import set_obs_export_dir
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,7 +32,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true", help="list figures")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the results as JSON to PATH")
+    parser.add_argument("--obs", metavar="DIR",
+                        help="export repro.obs artifacts (JSONL + Perfetto"
+                             " trace) of obs-enabled experiments to DIR"
+                             " (e.g. --figure fig_overrun)")
     args = parser.parse_args(argv)
+
+    if args.obs:
+        set_obs_export_dir(args.obs)
 
     if args.list:
         for name in ALL_FIGURES:

@@ -34,6 +34,7 @@ __all__ = [
     "fig11a", "fig11b", "fig12", "fig13",
     "fig16a", "fig16b",
     "disc_transfer", "disc_dct", "disc_newer_hca", "abl_mechanisms",
+    "fig_overrun",
     "ALL_FIGURES", "run_figure",
 ]
 
@@ -588,6 +589,57 @@ def abl_mechanisms(quick: bool = True) -> FigureResult:
     )
 
 
+def fig_overrun(quick: bool = True) -> FigureResult:
+    """The fatal-overrun sweep (ROADMAP): clients that stop polling.
+
+    Half the clients go dead at ``stop_at`` — they keep posting requests
+    but never again consume a completion.  Client recv CQs are bounded and
+    fatal (``IBV_EVENT_CQ_ERR`` on overrun), as on real HCAs configured
+    without CQ resize.  The repro.obs epoch series turn the aftermath into
+    a degradation curve: throughput falls to the surviving fraction, and
+    the UD-based clients (HERD/FaSST) additionally overrun their recv CQs
+    and error out their QPs.
+    """
+    n_clients = 40 if quick else 120
+    measure = 300 * US if quick else 1 * MS
+    warmup = 200 * US
+    stop_at = warmup + 400 * US  # absolute simulation time of the failure
+    epoch = 50 * US
+    series: dict[str, list] = {}
+    notes = [f"clients stop polling at t={stop_at // US} us (half of them)"]
+    times: list[int] = []
+    for system in RPC_SYSTEMS:
+        result = run_rpc_experiment(RpcExperiment(
+            system=system, n_clients=n_clients, batch_size=1,
+            warmup_ns=warmup, measure_ns=measure,
+            obs_enabled=True, obs_epoch_ns=epoch,
+            cq_overrun_fatal=True,
+            stop_polling_after_ns=stop_at, stop_polling_fraction=0.5,
+        ))
+        points = next(
+            s["points"] for s in result.obs["series"]
+            if s["name"] == "rpc.completed_per_s"
+        )
+        times = [t for t, _v in points]
+        series[system] = [v / 1e6 for _t, v in points]
+        # Satellite of the obs work: truncated telemetry must be visible
+        # in the summary, never silently partial.
+        notes.append(
+            f"{system}: trace_dropped={result.trace_dropped},"
+            f" obs_dropped={result.obs['meta']['dropped']}"
+        )
+    shortest = min(len(values) for values in series.values())
+    series = {label: values[:shortest] for label, values in series.items()}
+    return FigureResult(
+        figure="Fatal-overrun sweep",
+        title="Throughput over time as half the clients stop polling",
+        x_label="t (us)",
+        x_values=[t // US for t in times[:shortest]],
+        series=series,
+        notes=notes,
+    )
+
+
 ALL_FIGURES = {
     "fig1a": fig1a,
     "fig1b": fig1b,
@@ -608,6 +660,7 @@ ALL_FIGURES = {
     "disc_dct": disc_dct,
     "disc_newer_hca": disc_newer_hca,
     "abl_mechanisms": abl_mechanisms,
+    "fig_overrun": fig_overrun,
 }
 
 

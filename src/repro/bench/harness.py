@@ -15,12 +15,25 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..memsys import CounterMonitor, CounterRates
+from ..obs import Observer
 from ..rdma import Node
+from ..rdma.verbs import VerbError
 from ..transport import Topology, bench_systems, get as get_transport
 from .metrics import LatencyRecorder, LatencyStats, throughput_mops
 
 __all__ = ["SYSTEMS", "RpcExperiment", "RpcResult", "run_rpc_experiment",
-           "MultiSeedResult", "run_multi_seed"]
+           "MultiSeedResult", "run_multi_seed", "set_obs_export_dir"]
+
+#: When set (``python -m repro.bench --obs DIR``), every obs-enabled
+#: experiment also writes its artifact to DIR as JSONL plus a
+#: Perfetto-loadable Chrome trace.
+_obs_export_dir: Optional[str] = None
+
+
+def set_obs_export_dir(path: Optional[str]) -> None:
+    """Direct obs-enabled experiments to export their artifacts to ``path``."""
+    global _obs_export_dir
+    _obs_export_dir = path
 
 #: The compared RPC implementations (paper Table 2, plus the Static
 #: ScaleRPC variant of Figure 12), from the transport registry.
@@ -53,6 +66,18 @@ class RpcExperiment:
     # Ablation switches (ScaleRPC only).
     warmup_enabled: bool = True
     conn_prefetch_enabled: bool = True
+    # Observability (repro.obs).  Enabling it must not change simulated
+    # results — the observer only reads state the simulation already
+    # maintains; obs_guard.py enforces this.
+    obs_enabled: bool = False
+    obs_epoch_ns: int = 50_000
+    # Fatal-overrun sweep (ROADMAP): give client-side UD recv CQs a
+    # bounded, fatal depth, and make a fraction of the clients stop
+    # polling at ``stop_polling_after_ns`` (absolute simulation time).
+    # Stopped clients keep posting fire-and-forget until their QP dies.
+    cq_overrun_fatal: bool = False
+    stop_polling_after_ns: Optional[int] = None
+    stop_polling_fraction: float = 0.5
 
     def __post_init__(self):
         if self.system not in SYSTEMS:
@@ -63,6 +88,10 @@ class RpcExperiment:
             raise ValueError("n_client_machines must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.obs_epoch_ns < 1:
+            raise ValueError("obs_epoch_ns must be >= 1")
+        if not 0.0 < self.stop_polling_fraction <= 1.0:
+            raise ValueError("stop_polling_fraction must be in (0, 1]")
 
 
 @dataclass
@@ -77,6 +106,13 @@ class RpcResult:
     completed_ops: int
     window_ns: int
     server_stats: object
+    #: The repro.obs run artifact (``Observer.finish()``) when the
+    #: experiment ran with ``obs_enabled``; feed it to the exporters or
+    #: ``python -m repro.obs``.
+    obs: Optional[dict] = None
+    #: Records the fabric's bounded tracer dropped on this run — surfaced
+    #: so a truncated trace is never mistaken for a complete one.
+    trace_dropped: int = 0
 
 
 def build_server(experiment: RpcExperiment, node: Node, handler, handler_cost_fn):
@@ -97,6 +133,7 @@ def build_server(experiment: RpcExperiment, node: Node, handler, handler_cost_fn
         n_server_threads=experiment.n_server_threads,
         warmup_enabled=experiment.warmup_enabled,
         conn_prefetch_enabled=experiment.conn_prefetch_enabled,
+        cq_overrun_fatal=experiment.cq_overrun_fatal,
     )
 
 
@@ -155,6 +192,51 @@ def _assert_cqs_drained(topo: Topology) -> None:
                 )
 
 
+def _unique_cq_depth(nodes) -> int:
+    """Total completions queued across every distinct CQ on ``nodes``."""
+    seen: set[int] = set()
+    total = 0
+    for node in nodes:
+        for qp in node.qps:
+            for cq in (qp.send_cq, qp.recv_cq):
+                if id(cq) not in seen:
+                    seen.add(id(cq))
+                    total += len(cq)
+    return total
+
+
+def _register_bench_metrics(observer: Observer, topo: Topology, server,
+                            clients) -> None:
+    """The harness' epoch series: throughput, NIC cache, DDIO, CQ depth,
+    and (for ScaleRPC) the scheduler epoch.  Every series reads state the
+    simulation maintains anyway, so sampling cannot perturb results."""
+    server_node = topo.server_node
+    nic_stats = server_node.nic.stats
+    metrics = observer.metrics
+    metrics.rate_fn(
+        "rpc.completed_per_s", lambda: sum(c.completed for c in clients)
+    )
+    metrics.ratio_fn(
+        "nic.server.conn_hit_rate",
+        lambda: nic_stats.conn_hits,
+        lambda: nic_stats.conn_hits + nic_stats.conn_misses,
+    )
+    metrics.gauge(
+        "llc.server.ddio_resident_lines",
+        lambda: server_node.llc.ddio_resident_lines,
+    )
+    metrics.gauge("cq.server.depth", lambda: _unique_cq_depth([server_node]))
+    metrics.gauge("cq.clients.depth", lambda: _unique_cq_depth(topo.machines))
+    if hasattr(server, "epoch"):  # the ScaleRPC group scheduler's slice state
+        metrics.gauge("server.sched_epoch", lambda: server.epoch)
+
+
+#: Pacing of a stopped client's fire-and-forget posting loop.  Real
+#: misbehaving clients keep issuing requests at whatever rate their CPU
+#: sustains; 2 us keeps the pressure high without a zero-delay spin.
+_ZOMBIE_POST_GAP_NS = 2_000
+
+
 def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     """Run one closed-loop experiment and return its measurements."""
     topo = Topology.build(
@@ -165,6 +247,16 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     )
     sim, rng = topo.sim, topo.rng
     server_node = topo.server_node
+    observer = None
+    if experiment.obs_enabled:
+        observer = Observer(meta={
+            "experiment": "rpc",
+            "system": experiment.system,
+            "n_clients": experiment.n_clients,
+            "batch_size": experiment.batch_size,
+            "seed": experiment.seed,
+            "obs_epoch_ns": experiment.obs_epoch_ns,
+        }).install(topo.fabric)
     handler = lambda request: request.payload
     cost_fn = (
         (lambda _req: experiment.handler_cost_ns)
@@ -174,6 +266,15 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     server = build_server(experiment, server_node, handler, cost_fn)
     clients = topo.connect_clients(server, experiment.n_clients)
     server.start()
+    if observer is not None:
+        _register_bench_metrics(observer, topo, server, clients)
+        observer.metrics.start(sim, experiment.obs_epoch_ns)
+
+    stop_after = experiment.stop_polling_after_ns
+    zombies: set[int] = set()
+    if stop_after is not None:
+        n_stop = max(1, int(experiment.n_clients * experiment.stop_polling_fraction))
+        zombies = {client.client_id for client in clients[:n_stop]}
 
     window_start = experiment.warmup_ns
     # The window extends adaptively (up to 8x) for configurations whose
@@ -183,11 +284,38 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     recorder = LatencyRecorder()
     state = {"ops": 0, "stopping": False, "active": 0}
 
+    def zombie_driver(sim, client):
+        """A stopped client's posting loop: fire-and-forget requests with
+        no completion polling.  Responses pile up unconsumed behind the
+        dead polling loop; under ``cq_overrun_fatal`` the client's recv CQ
+        eventually overruns, errors its QPs, and (for transports whose
+        request path shares the QP) kills posting with a VerbError."""
+        while not state["stopping"]:
+            try:
+                yield from client.async_call(
+                    "bench", payload=None, data_bytes=experiment.data_bytes
+                )
+                yield from client.flush()
+            except VerbError:
+                return  # the fatal CQ overrun errored the posting QP out
+            yield sim.timeout(_ZOMBIE_POST_GAP_NS)
+
     def driver(sim, client):
         client_rng = rng.stream(f"client.{client.client_id}")
         state["active"] += 1
         try:
             while not state["stopping"]:
+                if (
+                    stop_after is not None
+                    and sim.now >= stop_after
+                    and client.client_id in zombies
+                ):
+                    client.stop_polling()
+                    if observer is not None:
+                        observer.instant("harness", "stop_polling", sim.now,
+                                         {"client": client.client_id})
+                    yield from zombie_driver(sim, client)
+                    return
                 if experiment.think_time_fn is not None:
                     delay = experiment.think_time_fn(client.client_id, client_rng)
                     if delay > 0:
@@ -225,10 +353,18 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     # fast (microsecond-RTT) and collapsed (millisecond-RTT) systems get a
     # statistically useful sample.
     target_samples = max(50, experiment.n_clients)
+    # The stop-polling sweep measures the aftermath, not just steady
+    # state: keep the window open past the stop event so the epoch series
+    # records the degradation curve.
+    min_elapsed = 0
+    if stop_after is not None:
+        min_elapsed = max(0, stop_after - window_start) + 4 * experiment.measure_ns
     elapsed = 0
     while True:
         elapsed += experiment.measure_ns
         sim.run(until=window_start + elapsed)
+        if elapsed < min_elapsed:
+            continue
         if len(recorder) >= target_samples or window_start + elapsed >= window_end:
             break
     counters = monitor.stop()
@@ -244,10 +380,34 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     drain_deadline = sim.now + 8 * experiment.measure_ns
     while state["active"] > 0 and sim.now < drain_deadline:
         sim.run(until=min(sim.now + experiment.measure_ns, drain_deadline))
-    assert state["active"] == 0, (
-        f"{state['active']} drivers still in flight after the drain phase"
-    )
-    _assert_cqs_drained(topo)
+    if stop_after is None:
+        assert state["active"] == 0, (
+            f"{state['active']} drivers still in flight after the drain phase"
+        )
+        _assert_cqs_drained(topo)
+    # In the stop-polling sweep the conservation checks are meaningless by
+    # construction: stopped clients abandon their in-flight batches and
+    # leave completions rotting in (possibly overrun) recv CQs — that
+    # leakage is the experiment, not a harness bug.
+
+    obs_artifact = None
+    if observer is not None:
+        observer.metrics.stop()
+        obs_artifact = observer.finish()
+        observer.uninstall()
+        if _obs_export_dir is not None:
+            import os
+
+            from ..obs import write_chrome_trace, write_jsonl
+
+            os.makedirs(_obs_export_dir, exist_ok=True)
+            stem = os.path.join(
+                _obs_export_dir,
+                f"{experiment.system}_{experiment.n_clients}c"
+                f"_b{experiment.batch_size}_s{experiment.seed}",
+            )
+            write_jsonl(obs_artifact, stem + ".obs.jsonl")
+            write_chrome_trace(obs_artifact, stem + ".trace.json")
 
     if not len(recorder):
         raise RuntimeError(
@@ -262,4 +422,6 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
         completed_ops=state["ops"],
         window_ns=window_ns,
         server_stats=server.stats,
+        obs=obs_artifact,
+        trace_dropped=topo.fabric.tracer.dropped,
     )

@@ -14,7 +14,7 @@ import numpy as np
 
 __all__ = ["LatencyRecorder", "LatencyStats", "throughput_mops"]
 
-NS_PER_S = 1_000_000_000
+from ..sim.engine import NS_PER_S
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,10 @@ class RpcClientApi(abc.ABC):
     _deferred_inflight: int = 0
     _deferred_window: int = 16
     _deferred_waiter: Optional[Event] = None
+    #: Set by :meth:`stop_polling`: the client's completion path goes dead
+    #: (responses are never consumed), modelling the misbehaving client of
+    #: the fatal-overrun sweep.  Posting still works.
+    _stopped: bool = False
     #: Clients talking to several servers poll one completion source per
     #: server (round-robin over CQs / message regions); per completed op
     #: the thread pays ~that many poll sweeps.  Multi-participant
@@ -95,6 +99,16 @@ class RpcClientApi(abc.ABC):
                 self._deferred_waiter = self.machine.sim.event()
             yield self._deferred_waiter
         return None
+
+    def stop_polling(self) -> None:
+        """Stop consuming completions (the client goes unresponsive).
+
+        Models the failure mode behind ``CompletionQueue(overrun_fatal=
+        True)``: a client that keeps a connection open but never polls,
+        letting whatever queues back up behind it overflow.  Irreversible
+        for the life of the client.
+        """
+        self._stopped = True
 
     @abc.abstractmethod
     def async_call(

@@ -114,6 +114,9 @@ class ScaleRpcClient(RpcClientApi):
         )
         handle = CallHandle(request, self.sim.event(), posted_ns=self.sim.now)
         self._outstanding[request.req_id] = handle
+        obs = self.machine.fabric.obs
+        if obs is not None:
+            obs.rpc_stage(request.req_id, "post", self.sim.now)
         yield from self._cpu_backpressure()
         yield from self.machine.cpu.use(self._post_ns)
         if self.state is ClientState.PROCESS:
@@ -220,6 +223,10 @@ class ScaleRpcClient(RpcClientApi):
     # -- inbound handling -------------------------------------------------
 
     def _on_response(self, event: InboundWrite) -> None:
+        if self._stopped:
+            # A stopped client's polling loop is gone: the write lands in
+            # the response ring and nobody ever reads it.
+            return
         # The client's polling loop reads the arrived message, keeping the
         # response ring LLC-resident (promotes the lines out of the DDIO
         # write-allocate ways).
@@ -253,6 +260,9 @@ class ScaleRpcClient(RpcClientApi):
                 handle.completed_ns = self.sim.now
                 handle.event.succeed(payload)
                 self.completed += 1
+                obs = self.machine.fabric.obs
+                if obs is not None:
+                    obs.rpc_stage(payload.req_id, "complete", self.sim.now)
         if payload.context_switch:
             self._enter_idle()
 

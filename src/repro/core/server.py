@@ -270,6 +270,9 @@ class ScaleRpcServer(RpcServerApi):
         # Otherwise the entry waits until the client's group warms up.
 
     def _route(self, item: _WorkItem) -> None:
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.rpc_stage(item.request.req_id, "dispatch", self.sim.now)
         self._worker_stores[item.slot % len(self._worker_stores)].put(item)
 
     # -- warmup ---------------------------------------------------------------
@@ -402,6 +405,13 @@ class ScaleRpcServer(RpcServerApi):
     ) -> None:
         self.current_serving = group
         self._draining = False
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.instant("server.sched", "slice_begin", self.sim.now, {
+                "epoch": self.epoch,
+                "group_size": len(group.members) if group is not None else 0,
+                "continuation": continuation,
+            })
         if not continuation:
             self._prev_serving_ids = self._serving_ids
             self._prev_serve_slots = self._serve_slots
@@ -482,6 +492,10 @@ class ScaleRpcServer(RpcServerApi):
         past that, stragglers are cut off and recover via re-announce.
         """
         self._draining = True
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.instant("server.sched", "drain_begin", self.sim.now,
+                        {"epoch": self.epoch})
         deadline = self.sim.now + 2 * self.config.time_slice_ns
         while self.sim.now < deadline:
             while self._pending_work() and self.sim.now < deadline:
@@ -533,14 +547,24 @@ class ScaleRpcServer(RpcServerApi):
                 self.stats.stale_drops += 1
                 continue
             self._busy_workers += 1
+            start = self.sim.now
             try:
                 yield from self._execute(item)
             finally:
                 self._busy_workers -= 1
+                obs = self.node.fabric.obs
+                if obs is not None:
+                    obs.span(
+                        f"server.{self.node.name}.worker{index}",
+                        item.request.rpc_type, start, self.sim.now,
+                    )
 
     def _execute(self, item: _WorkItem) -> Generator:
         request = item.request
         ctx = item.ctx
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.rpc_stage(request.req_id, "exec", self.sim.now)
         # Poll/read the message out of the pool: mechanistic LLC cost.
         access = self.node.llc.cpu_access(item.addr, request.wire_bytes)
         base_cost = access.cost_ns + self.config.costs.server_request_ns
@@ -576,6 +600,9 @@ class ScaleRpcServer(RpcServerApi):
         while True:
             item: _WorkItem = yield self._legacy_store.get()
             request = item.request
+            obs = self.node.fabric.obs
+            if obs is not None:
+                obs.rpc_stage(request.req_id, "exec", self.sim.now)
             if request.req_id in item.ctx.recent_completed:
                 self.stats.duplicate_requests += 1
                 yield self.sim.timeout(self._respond(item.ctx, request, None))
@@ -649,6 +676,9 @@ class ScaleRpcServer(RpcServerApi):
         )
         self._responses_in_flight += 1
         wr.completion.add_callback(self._response_landed)
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.rpc_stage(request.req_id, "done", self.sim.now)
         return write_cost
 
     def _response_landed(self, _event) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..sim import NS_PER_S
 from ..transport import Topology, dfs_systems, get as get_transport
 from .client import DfsClient
 from .mds import OP_MKNOD, OP_READDIR, OP_RMNOD, OP_STAT, MetadataService
@@ -25,8 +26,6 @@ __all__ = ["MdtestConfig", "MdtestResult", "run_mdtest", "DFS_RPC_SYSTEMS"]
 #: whose responses may exceed the 4 KB UD MTU (large ReadDir replies), so
 #: UD-based RPCs (HERD/FaSST) are excluded, as in the paper.
 DFS_RPC_SYSTEMS = dfs_systems()
-
-NS_PER_S = 1_000_000_000
 
 
 @dataclass

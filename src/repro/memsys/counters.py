@@ -11,13 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim.engine import Simulator
+from ..sim.engine import NS_PER_S, Simulator
 from .llc import LastLevelCache
 from .pcie import PcieCounters, PcieSnapshot
 
 __all__ = ["CounterRates", "CounterMonitor"]
-
-NS_PER_S = 1_000_000_000
 
 
 @dataclass(frozen=True)

@@ -138,6 +138,9 @@ class LastLevelCache:
             OrderedDict() for _ in range(self.params.n_sets)
         ]
         self.stats = LlcStats()
+        # Running count of DDIO-owned lines, maintained at every tag
+        # transition so observers can sample occupancy in O(1).
+        self._ddio_resident = 0
 
     # -- geometry helpers -------------------------------------------------
 
@@ -160,6 +163,11 @@ class LastLevelCache:
     @property
     def occupied_lines(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    @property
+    def ddio_resident_lines(self) -> int:
+        """Lines currently owned by the DDIO (write-allocate) ways."""
+        return self._ddio_resident
 
     # -- DMA (NIC-initiated) path -----------------------------------------
 
@@ -191,9 +199,11 @@ class LastLevelCache:
             ddio_lines = [l for l, tag in cache_set.items() if tag == _DDIO]
             if len(ddio_lines) >= self.params.ddio_ways:
                 del cache_set[ddio_lines[0]]  # LRU among DDIO lines
+                self._ddio_resident -= 1
             elif len(cache_set) >= self.params.ways:
                 self._evict_main(cache_set)
             cache_set[ln] = _DDIO
+            self._ddio_resident += 1
         self.stats.dma_update_hits += update_hits
         self.stats.dma_allocations += allocations
         return DmaWriteResult(
@@ -204,14 +214,15 @@ class LastLevelCache:
             partial_lines=partial_lines,
         )
 
-    @staticmethod
-    def _evict_main(cache_set: OrderedDict) -> None:
+    def _evict_main(self, cache_set: OrderedDict) -> None:
         """Evict the LRU core-owned line (fallback: LRU overall)."""
         for line, tag in cache_set.items():
             if tag == _MAIN:
                 del cache_set[line]
                 return
-        cache_set.popitem(last=False)
+        _line, tag = cache_set.popitem(last=False)
+        if tag == _DDIO:
+            self._ddio_resident -= 1
 
     def dma_read(self, addr: int, size: int) -> int:
         """Model the NIC's DMA read of an outbound payload.
@@ -235,13 +246,17 @@ class LastLevelCache:
             if ln in cache_set:
                 # Core touched the line: it stops being a write-allocate
                 # victim (promotion out of the DDIO ways).
+                if cache_set[ln] == _DDIO:
+                    self._ddio_resident -= 1
                 cache_set[ln] = _MAIN
                 cache_set.move_to_end(ln)
                 hits += 1
             else:
                 misses += 1
                 if len(cache_set) >= self.params.ways:
-                    cache_set.popitem(last=False)  # LRU overall
+                    _line, tag = cache_set.popitem(last=False)  # LRU overall
+                    if tag == _DDIO:
+                        self._ddio_resident -= 1
                 cache_set[ln] = _MAIN
         self.stats.cpu_hits += hits
         self.stats.cpu_misses += misses
@@ -252,6 +267,7 @@ class LastLevelCache:
         """Invalidate all lines (counters/stats preserved)."""
         for cache_set in self._sets:
             cache_set.clear()
+        self._ddio_resident = 0
 
     def reset_stats(self) -> None:
         """Zero the LLC aggregate stats."""

@@ -1,0 +1,47 @@
+"""repro.obs — unified telemetry for the simulation stack.
+
+The single owner of trace records in this repository (DESIGN.md section 9):
+
+- **Lifecycle spans** — every RPC gets a stage timeline (client post ->
+  NIC tx incl. connection-cache stalls -> wire -> server DMA/LLC ->
+  dispatch wait -> handler -> the reply symmetrically -> completion),
+  recorded through hook points that are zero-cost while no observer is
+  installed (the same discipline as ``Simulator.tiebreak``).
+- **Epoch time-series** — a :class:`MetricsRegistry` of named counters,
+  gauges, and ratios sampled on a configurable epoch, so the paper's
+  Figure-3 cliffs become plottable curves instead of one number per run.
+- **Exporters** — JSONL artifacts plus Chrome trace-event JSON that loads
+  in Perfetto (one track per NIC/worker/scheduler, async RPC spans,
+  counter tracks), and a ``python -m repro.obs`` CLI that summarizes an
+  artifact (critical-path p99 breakdown, cliff detection on any series).
+
+``repro.sim.trace`` remains as the minimal in-memory tracer the fabric
+always carries; when an :class:`Observer` is installed its records (and
+its ``dropped`` count) are folded into the obs artifact at ``finish()``.
+"""
+
+from .core import Observer, current
+from .critical import StageBreakdown, Cliff, detect_cliff, stage_breakdown
+from .export import (
+    load_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Observer",
+    "current",
+    "MetricsRegistry",
+    "StageBreakdown",
+    "Cliff",
+    "stage_breakdown",
+    "detect_cliff",
+    "write_jsonl",
+    "load_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

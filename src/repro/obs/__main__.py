@@ -1,0 +1,85 @@
+"""CLI: summarize an obs artifact.
+
+    python -m repro.obs run.jsonl
+    python -m repro.obs run.jsonl --percentile 99 --top 8
+    python -m repro.obs run.jsonl --chrome run.trace.json
+
+Prints run metadata (including every drop counter), the critical-path
+breakdown of tail latency, and cliff detection over each epoch series;
+``--chrome`` additionally exports a Perfetto-loadable trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .critical import detect_cliff, stage_breakdown
+from .export import load_jsonl, to_chrome_trace, validate_chrome_trace, write_chrome_trace
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1_000_000:
+        return f"{ns / 1_000_000:.3f} ms"
+    if ns >= 1_000:
+        return f"{ns / 1_000:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="Summarize an obs JSONL artifact."
+    )
+    parser.add_argument("artifact", help="path to a JSONL artifact")
+    parser.add_argument("--percentile", type=float, default=99.0,
+                        help="tail percentile for the breakdown (default 99)")
+    parser.add_argument("--top", type=int, default=8,
+                        help="stages to show in the breakdown (default 8)")
+    parser.add_argument("--drop", type=float, default=0.3,
+                        help="relative drop that counts as a cliff (default 0.3)")
+    parser.add_argument("--chrome", metavar="OUT",
+                        help="also export a Chrome trace-event JSON file")
+    args = parser.parse_args(argv)
+
+    artifact = load_jsonl(args.artifact)
+    meta = artifact["meta"]
+
+    print(f"artifact: {args.artifact}")
+    for key in sorted(meta):
+        print(f"  {key}: {meta[key]}")
+    print(f"  spans: {len(artifact['spans'])}  instants: {len(artifact['instants'])}"
+          f"  rpcs: {len(artifact['rpcs'])}  series: {len(artifact['series'])}")
+
+    breakdown = stage_breakdown(artifact, percentile=args.percentile)
+    if breakdown is None:
+        print("\nno complete RPC timelines — skipping critical-path breakdown")
+    else:
+        print(f"\ncritical path, p{args.percentile:g} = "
+              f"{_fmt_ns(breakdown.latency_ns)} "
+              f"({breakdown.tail_count}/{breakdown.count} RPCs in tail):")
+        for name, mean_ns, share in breakdown.top(args.top):
+            print(f"  {name:<22} {_fmt_ns(mean_ns):>12}  {share * 100:5.1f}%")
+
+    cliffed = False
+    for series in artifact["series"]:
+        cliff = detect_cliff(series["points"], drop=args.drop)
+        if cliff is not None:
+            cliffed = True
+            print(f"\ncliff in {series['name']}: {cliff.before:.4g} -> "
+                  f"{cliff.after:.4g} ({cliff.ratio * 100:.1f}% of peak) "
+                  f"at t={_fmt_ns(cliff.ts)}")
+    if not cliffed and artifact["series"]:
+        print("\nno cliffs detected in any series")
+
+    if args.chrome:
+        write_chrome_trace(artifact, args.chrome)
+        problems = validate_chrome_trace(to_chrome_trace(artifact))
+        status = "valid" if not problems else f"{len(problems)} problems"
+        print(f"\nwrote Chrome trace ({status}): {args.chrome}")
+        for problem in problems[:10]:
+            print(f"  {problem}")
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

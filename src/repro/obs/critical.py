@@ -1,0 +1,140 @@
+"""Critical-path analysis over RPC stage timelines, and cliff detection.
+
+Each RPC's timeline is a list of ``(stage, ts)`` markers; the interval
+between consecutive markers is attributed to the *later* stage (the time
+it took to reach it).  A stage marker may carry an ``extra`` dict whose
+``miss_stall`` entry is the portion of the preceding interval spent
+waiting on an NIC cache miss — the breakdown splits that out as its own
+``<stage>.miss_stall`` row, which is what makes the Figure-3 cliff
+legible: past the connection-cache capacity, attribution shifts from
+wire/service time into those stall rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["STAGE_ORDER", "StageBreakdown", "Cliff", "stage_breakdown", "detect_cliff"]
+
+#: Canonical lifecycle order (request out, server, response back).
+STAGE_ORDER = (
+    "post",
+    "req_tx",
+    "req_wire",
+    "req_dma",
+    "dispatch",
+    "exec",
+    "done",
+    "resp_tx",
+    "resp_wire",
+    "resp_dma",
+    "complete",
+)
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Per-stage attribution of tail latency."""
+
+    count: int  #: RPCs with a complete first→last timeline
+    tail_count: int  #: RPCs at or above the percentile latency
+    percentile: float
+    latency_ns: int  #: the percentile latency itself
+    stages: tuple  #: ((name, mean_ns, share), ...) over the tail set
+
+    def top(self, n: int = 5) -> list:
+        """The ``n`` stages with the largest mean contribution."""
+        return sorted(self.stages, key=lambda s: -s[1])[:n]
+
+
+@dataclass(frozen=True)
+class Cliff:
+    """A sustained drop detected in an epoch series."""
+
+    index: int  #: point index where the drop first appears
+    ts: int
+    before: float  #: running peak before the drop
+    after: float  #: value at the cliff
+    ratio: float  #: after / before
+
+
+def _percentile_nearest_rank(sorted_values: Sequence[int], p: float) -> int:
+    rank = max(1, math.ceil(p / 100 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def stage_breakdown(
+    artifact: dict,
+    percentile: float = 99.0,
+    first: str = "post",
+    last: str = "complete",
+) -> Optional[StageBreakdown]:
+    """Decompose the ``percentile`` tail of end-to-end latency by stage.
+
+    Considers only RPCs whose timeline contains both ``first`` and
+    ``last``; returns ``None`` when there are none (e.g. a run where no
+    RPC completed).
+    """
+    timelines = []
+    for rpc in artifact["rpcs"]:
+        stages = rpc["stages"]
+        times = {entry[0]: entry[1] for entry in stages}
+        if first in times and last in times and times[last] >= times[first]:
+            timelines.append((times[last] - times[first], stages))
+    if not timelines:
+        return None
+    totals = sorted(t for t, _ in timelines)
+    latency = _percentile_nearest_rank(totals, percentile)
+    tail = [(t, stages) for t, stages in timelines if t >= latency]
+    sums: dict[str, int] = {}
+    for _total, stages in tail:
+        for prev, cur in zip(stages, stages[1:]):
+            name, ts = cur[0], cur[1]
+            interval = ts - prev[1]
+            extra = cur[2] if len(cur) > 2 else None
+            stall = extra.get("miss_stall", 0) if isinstance(extra, dict) else 0
+            if stall:
+                stall = min(stall, interval)
+                sums[name + ".miss_stall"] = sums.get(name + ".miss_stall", 0) + stall
+            sums[name] = sums.get(name, 0) + interval - stall
+    tail_count = len(tail)
+    mean_total = sum(t for t, _ in tail) / tail_count
+    order = {name: i for i, name in enumerate(STAGE_ORDER)}
+    rows = sorted(
+        sums.items(),
+        key=lambda kv: (order.get(kv[0].split(".")[0], len(order)), kv[0]),
+    )
+    stages = tuple(
+        (name, total / tail_count, (total / tail_count) / mean_total if mean_total else 0.0)
+        for name, total in rows
+    )
+    return StageBreakdown(
+        count=len(timelines),
+        tail_count=tail_count,
+        percentile=percentile,
+        latency_ns=latency,
+        stages=stages,
+    )
+
+
+def detect_cliff(points: Sequence, drop: float = 0.3) -> Optional[Cliff]:
+    """Find the first point that falls more than ``drop`` (fraction)
+    below the running peak of an epoch series.
+
+    ``points`` is a series' ``[[ts, value], ...]`` list; ``None`` values
+    (undefined ratios) are skipped.  Returns ``None`` when the series
+    never cliffs.
+    """
+    peak = None
+    for index, (ts, value) in enumerate(points):
+        if value is None:
+            continue
+        if peak is None or value > peak:
+            peak = value
+            continue
+        if peak > 0 and value < peak * (1 - drop):
+            return Cliff(index=index, ts=ts, before=peak, after=value,
+                         ratio=value / peak)
+    return None

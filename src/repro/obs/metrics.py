@@ -1,0 +1,196 @@
+"""Epoch time-series: named counters, gauges, and ratios.
+
+A :class:`MetricsRegistry` holds metric definitions and a sampler that
+runs as an ordinary simulation process, waking every ``epoch_ns`` to
+append one point per metric.  The sampler only *reads* instrumented
+state (counter values, ``len(cq)``, cache statistics) — it never touches
+a :class:`~repro.sim.resources.Resource` or memory model, so simulation
+results are identical with sampling on or off.
+
+Point semantics per metric kind:
+
+- ``counter`` — monotonic total incremented by hooks; each epoch records
+  the delta over the epoch, scaled to a per-second rate when ``rate=True``
+  (e.g. ``ops/s``).
+- ``gauge`` — a zero-argument callable sampled at the epoch boundary
+  (e.g. CQ depth, DDIO-resident lines).
+- ``ratio`` — delta(numerator) / delta(denominator) over the epoch,
+  ``None`` when the denominator did not move (e.g. NIC cache hit-rate).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..sim.engine import NS_PER_S
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+__all__ = ["Counter", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonic counter bumped by hook sites."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class _CounterSeries:
+    def __init__(self, counter: Counter, rate: bool):
+        self.counter = counter
+        self.rate = rate
+        self._last = 0
+        self.points: list[list] = []
+
+    def sample(self, ts: int, epoch_ns: int) -> None:
+        delta = self.counter.value - self._last
+        self._last = self.counter.value
+        if self.rate:
+            self.points.append([ts, delta * NS_PER_S / epoch_ns])
+        else:
+            self.points.append([ts, delta])
+
+
+class _GaugeSeries:
+    def __init__(self, fn: Callable[[], float]):
+        self.fn = fn
+        self.points: list[list] = []
+
+    def sample(self, ts: int, epoch_ns: int) -> None:
+        self.points.append([ts, self.fn()])
+
+
+class _RatioSeries:
+    def __init__(self, num: Counter, den: Counter):
+        self.num = num
+        self.den = den
+        self._last_num = 0
+        self._last_den = 0
+        self.points: list[list] = []
+
+    def sample(self, ts: int, epoch_ns: int) -> None:
+        dn = self.num.value - self._last_num
+        dd = self.den.value - self._last_den
+        self._last_num = self.num.value
+        self._last_den = self.den.value
+        self.points.append([ts, dn / dd if dd else None])
+
+
+class _FnRateSeries:
+    """Per-second rate of the delta of a cumulative callable (e.g. an
+    existing stats field), so hot paths need no new counters at all."""
+
+    def __init__(self, fn: Callable[[], float]):
+        self.fn = fn
+        self._last = 0.0
+        self.points: list[list] = []
+
+    def sample(self, ts: int, epoch_ns: int) -> None:
+        value = self.fn()
+        delta = value - self._last
+        self._last = value
+        self.points.append([ts, delta * NS_PER_S / epoch_ns])
+
+
+class _FnRatioSeries:
+    """delta(num_fn) / delta(den_fn) per epoch over cumulative callables."""
+
+    def __init__(self, num_fn: Callable[[], float], den_fn: Callable[[], float]):
+        self.num_fn = num_fn
+        self.den_fn = den_fn
+        self._last_num = 0.0
+        self._last_den = 0.0
+        self.points: list[list] = []
+
+    def sample(self, ts: int, epoch_ns: int) -> None:
+        num, den = self.num_fn(), self.den_fn()
+        dn, dd = num - self._last_num, den - self._last_den
+        self._last_num, self._last_den = num, den
+        self.points.append([ts, dn / dd if dd else None])
+
+
+class MetricsRegistry:
+    """Named metrics plus the epoch sampler that turns them into series."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._series: dict[str, object] = {}
+        self.epoch_ns: Optional[int] = None
+        self._running = False
+
+    # -- definition --------------------------------------------------------
+
+    def counter(self, name: str, rate: bool = False) -> Counter:
+        """Get-or-create a counter; ``rate=True`` also records it as a
+        per-second series each epoch."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+            self._series[name] = _CounterSeries(c, rate)
+        return c
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a callable sampled at each epoch boundary."""
+        self._series[name] = _GaugeSeries(fn)
+
+    def ratio(self, name: str, numerator: str, denominator: str) -> None:
+        """Register delta(numerator)/delta(denominator) per epoch.  Both
+        operands are counters, created on demand."""
+        self._series[name] = _RatioSeries(
+            self.counter(numerator), self.counter(denominator)
+        )
+
+    def rate_fn(self, name: str, fn: Callable[[], float]) -> None:
+        """Register the per-second rate of a cumulative callable."""
+        self._series[name] = _FnRateSeries(fn)
+
+    def ratio_fn(
+        self, name: str, num_fn: Callable[[], float], den_fn: Callable[[], float]
+    ) -> None:
+        """Register the per-epoch delta ratio of two cumulative callables."""
+        self._series[name] = _FnRatioSeries(num_fn, den_fn)
+
+    # -- sampling ----------------------------------------------------------
+
+    def start(self, sim: "Simulator", epoch_ns: int) -> None:
+        """Spawn the sampler process on ``sim``."""
+        if epoch_ns <= 0:
+            raise ValueError("epoch_ns must be positive")
+        self.epoch_ns = epoch_ns
+        self._running = True
+        sim.process(self._sampler(sim, epoch_ns), name="obs.sampler")
+
+    def stop(self) -> None:
+        """Stop sampling after the current epoch (lets ``sim.run()``
+        terminate instead of ticking forever)."""
+        self._running = False
+
+    def _sampler(self, sim: "Simulator", epoch_ns: int):
+        while self._running:
+            yield sim.timeout(epoch_ns)
+            if not self._running:
+                break
+            self.sample(sim.now)
+
+    def sample(self, ts: int) -> None:
+        """Record one point for every registered series."""
+        epoch = self.epoch_ns or 1
+        for series in self._series.values():
+            series.sample(ts, epoch)
+
+    # -- export ------------------------------------------------------------
+
+    def as_records(self) -> list[dict]:
+        """JSON-native series list, insertion-ordered for determinism."""
+        return [
+            {"name": name, "epoch_ns": self.epoch_ns, "points": series.points}
+            for name, series in self._series.items()
+        ]

@@ -59,6 +59,11 @@ class Fabric:
         #: Optional verb-level tracer (disabled by default); the verb
         #: layer emits one record per verb when enabled.
         self.tracer = tracer or Tracer(enabled=False)
+        #: Optional :class:`repro.obs.Observer`.  ``None`` by default, and
+        #: every hook site guards on ``is not None`` — the same zero-cost
+        #: discipline as ``Simulator.tiebreak``.  Set via
+        #: ``Observer.install(fabric)``, never assigned directly.
+        self.obs = None
 
     def trace(self, source: str, event: str, detail=None) -> None:
         """Emit a trace record (no-op while the tracer is disabled)."""

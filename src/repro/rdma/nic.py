@@ -138,14 +138,21 @@ class Nic:
         ``conn_key`` is the QP identity for connected transports (None for
         UD, which keeps a single QP resident).  ``payload_addr`` triggers
         the DMA read of the outbound payload.
+
+        Returns ``(service_ns, stall_ns)`` — total pipeline hold and the
+        connection-cache-miss portion of it — so the verb layer can
+        attribute the stall without re-deriving cache state.
         """
         service = self.params.tx_base_ns + int(size / self.params.link_bytes_per_ns)
+        stall = 0
         if conn_key is not None:
-            service += self._touch_connection(conn_key)
+            stall = self._touch_connection(conn_key)
+            service += stall
         if payload_addr is not None and size > 0:
             self.llc.dma_read(payload_addr, size)
         self.stats.tx_ops += 1
         yield from self.pipeline.use(service)
+        return service, stall
 
     def rx_write(self, addr: int, size: int) -> Generator:
         """Receive-side processing of an inbound payload (DMA write).
@@ -158,6 +165,7 @@ class Nic:
         service = self.params.rx_base_ns + stalls * self.params.ddio_alloc_penalty_ns
         self.stats.rx_ops += 1
         yield from self.pipeline.use(service)
+        return service
 
     def rx_write_scatter(self, segments: list[tuple[int, int]]) -> Generator:
         """Receive-side processing of a scatter-gather DMA landing: one
@@ -170,12 +178,14 @@ class Nic:
             service += min(result.allocations, cap) * self.params.ddio_alloc_penalty_ns
         self.stats.rx_ops += 1
         yield from self.pipeline.use(service)
+        return service
 
     def rx_control(self) -> Generator:
         """Receive-side processing of a payload-free packet (e.g. a READ
         request arriving at the target)."""
         self.stats.rx_ops += 1
         yield from self.pipeline.use(self.params.rx_base_ns)
+        return self.params.rx_base_ns
 
     def serve_read(self, addr: int, size: int) -> Generator:
         """Target-side service of an RDMA READ: DMA-read the payload,
@@ -185,3 +195,4 @@ class Nic:
         self.stats.rx_ops += 1
         service = self.params.rx_base_ns + int(size / self.params.link_bytes_per_ns)
         yield from self.pipeline.use(service)
+        return service

@@ -90,6 +90,43 @@ def _conn_key(qp: QueuePair) -> Optional[int]:
     return qp.qp_num if qp.transport.is_connected else None
 
 
+# -- observability hooks (zero-cost while fabric.obs is None) ----------------
+#
+# Span args carry only deterministic values: byte counts and node names.
+# QP numbers and WR ids come from process-global counters and would break
+# byte-identity between two same-seed runs in one interpreter.
+
+def _rpc_id(obs, payload) -> Optional[int]:
+    """Correlation id for RPC-shaped payloads (anything with ``req_id``)."""
+    return getattr(payload, "req_id", None) if obs is not None else None
+
+
+def _tx_obs(obs, node, verb, size, service, stall, req_id, request) -> None:
+    """Record the sender-NIC pipeline hold that just ended at ``sim.now``
+    (``Resource.use`` holds exactly ``service`` after its grant)."""
+    now = node.sim.now
+    args = {"bytes": size}
+    if stall:
+        args["miss_stall"] = stall
+    obs.span(f"nic.{node.name}.tx", verb, now - service, now, args)
+    if req_id is not None:
+        obs.rpc_stage(req_id, "req_tx" if request else "resp_tx", now,
+                      {"miss_stall": stall} if stall else None)
+
+
+def _rx_obs(obs, node, verb, size, service, req_id, request) -> None:
+    """Record the receiver-NIC DMA/LLC deposit that just ended."""
+    now = node.sim.now
+    obs.span(f"nic.{node.name}.rx", verb, now - service, now, {"bytes": size})
+    if req_id is not None:
+        obs.rpc_stage(req_id, "req_dma" if request else "resp_dma", now)
+
+
+def _wire_obs(obs, req_id, request, now) -> None:
+    if req_id is not None:
+        obs.rpc_stage(req_id, "req_wire" if request else "resp_wire", now)
+
+
 # ---------------------------------------------------------------------------
 # RDMA WRITE (one-sided)
 # ---------------------------------------------------------------------------
@@ -131,17 +168,27 @@ def _write_flow(qp, wr, local_addr, remote_addr, size, payload, imm_data, signal
     fabric = qp.node.fabric
     peer = qp.peer
     target = peer.node
-    fabric.trace(qp.node.name, "write" if imm_data is None else "write_imm",
+    verb = "write" if imm_data is None else "write_imm"
+    fabric.trace(qp.node.name, verb,
                  {"to": target.name, "bytes": size, "qp": qp.qp_num})
+    obs = fabric.obs
+    req_id = _rpc_id(obs, payload)
+    request = req_id is not None and hasattr(payload, "rpc_type")
     yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
-    yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
+    service, stall = yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
+    if obs is not None:
+        _tx_obs(obs, qp.node, verb, size, service, stall, req_id, request)
     if fabric.drops_packet(qp.transport.is_reliable):
         # UC write lost in the fabric: the sender still completes (no acks
         # on unreliable transports); nothing lands at the target.
         _complete(qp, wr, size, signaled)
         return
     yield sim.timeout(fabric.params.latency_ns)
-    yield from target.nic.rx_write(remote_addr, size)
+    if obs is not None:
+        _wire_obs(obs, req_id, request, sim.now)
+    service = yield from target.nic.rx_write(remote_addr, size)
+    if obs is not None:
+        _rx_obs(obs, target, verb, size, service, req_id, request)
     event = InboundWrite(
         addr=remote_addr, size=size, payload=payload, imm_data=imm_data,
         src_qp_num=qp.qp_num, time_ns=sim.now,
@@ -221,12 +268,19 @@ def _send_flow(qp, wr, dest_qp, size, payload, local_addr, signaled) -> Generato
     target = dest_qp.node
     fabric.trace(qp.node.name, "send",
                  {"to": target.name, "bytes": size, "qp": qp.qp_num})
+    obs = fabric.obs
+    req_id = _rpc_id(obs, payload)
+    request = req_id is not None and hasattr(payload, "rpc_type")
     yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
-    yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
+    service, stall = yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
+    if obs is not None:
+        _tx_obs(obs, qp.node, "send", size, service, stall, req_id, request)
     if fabric.drops_packet(qp.transport.is_reliable):
         _complete(qp, wr, size, signaled)
         return
     yield sim.timeout(fabric.params.latency_ns)
+    if obs is not None:
+        _wire_obs(obs, req_id, request, sim.now)
     wqe = dest_qp.consume_recv_wqe()
     if wqe is None:
         # Receiver not ready.  Unreliable transports drop silently; an RC
@@ -239,7 +293,9 @@ def _send_flow(qp, wr, dest_qp, size, payload, local_addr, signaled) -> Generato
             raise VerbError(
                 f"{size}-byte send overflows {wqe.length}-byte receive buffer"
             )
-        yield from target.nic.rx_write(wqe.addr, size)
+        service = yield from target.nic.rx_write(wqe.addr, size)
+        if obs is not None:
+            _rx_obs(obs, target, "send", size, service, req_id, request)
         target.deliver_write(InboundWrite(
             addr=wqe.addr, size=size, payload=payload, imm_data=None,
             src_qp_num=qp.qp_num, time_ns=sim.now,
@@ -303,15 +359,22 @@ def _read_flow(qp, wr, local_addr, remote_addr, size, signaled, scatter=None) ->
     target = qp.peer.node
     fabric.trace(qp.node.name, "read",
                  {"from": target.name, "bytes": size, "qp": qp.qp_num})
+    obs = fabric.obs
     yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
-    yield from qp.node.nic.tx(_conn_key(qp), None, 0)
+    service, stall = yield from qp.node.nic.tx(_conn_key(qp), None, 0)
+    if obs is not None:
+        _tx_obs(obs, qp.node, "read", 0, service, stall, None, False)
     yield sim.timeout(fabric.transfer_ns(_CONTROL_BYTES))
-    yield from target.nic.serve_read(remote_addr, size)
+    service = yield from target.nic.serve_read(remote_addr, size)
+    if obs is not None:
+        _rx_obs(obs, target, "serve_read", size, service, None, False)
     yield sim.timeout(fabric.params.latency_ns)
     if scatter is not None:
-        yield from qp.node.nic.rx_write_scatter(scatter)
+        service = yield from qp.node.nic.rx_write_scatter(scatter)
     else:
-        yield from qp.node.nic.rx_write(local_addr, size)
+        service = yield from qp.node.nic.rx_write(local_addr, size)
+    if obs is not None:
+        _rx_obs(obs, qp.node, "read", size, service, None, False)
     payload = target.load(remote_addr)
     qp.node.store(local_addr, payload)
     _complete(qp, wr, size, signaled, payload=payload)
@@ -370,8 +433,11 @@ def _atomic_flow(qp, wr, local_addr, remote_addr, op, signaled) -> Generator:
     target = qp.peer.node
     fabric.trace(qp.node.name, "atomic",
                  {"on": target.name, "op": op[0], "qp": qp.qp_num})
+    obs = fabric.obs
     yield sim.timeout(qp.node.nic.params.mmio_doorbell_ns)
-    yield from qp.node.nic.tx(_conn_key(qp), None, 0)
+    service, stall = yield from qp.node.nic.tx(_conn_key(qp), None, 0)
+    if obs is not None:
+        _tx_obs(obs, qp.node, "atomic", 0, service, stall, None, False)
     yield sim.timeout(fabric.transfer_ns(_CONTROL_BYTES))
     # The target NIC executes the atomic against memory; this is the
     # serialization point, so it happens inside the pipeline hold.

@@ -1,6 +1,7 @@
 """Discrete-event simulation kernel (engine, resources, RNG, tracing)."""
 
 from .engine import (
+    NS_PER_S,
     AllOf,
     AnyOf,
     Event,
@@ -15,6 +16,7 @@ from .rng import RngRegistry, derive_seed
 from .trace import TraceRecord, Tracer
 
 __all__ = [
+    "NS_PER_S",
     "AllOf",
     "AnyOf",
     "Event",

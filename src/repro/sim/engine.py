@@ -29,6 +29,7 @@ from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
+    "NS_PER_S",
     "Event",
     "Timeout",
     "Process",
@@ -38,6 +39,11 @@ __all__ = [
     "SimulationError",
     "Interrupt",
 ]
+
+
+#: Nanoseconds per second — the kernel's time unit is the integer ns, so
+#: every rate conversion in the repo shares this one definition.
+NS_PER_S = 1_000_000_000
 
 
 class SimulationError(RuntimeError):

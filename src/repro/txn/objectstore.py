@@ -10,11 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sim import NS_PER_S
 from .cluster import TxnCluster, TxnClusterConfig, build_txn_cluster
 
 __all__ = ["ObjectStoreConfig", "TxnRunResult", "run_object_store"]
-
-NS_PER_S = 1_000_000_000
 
 
 @dataclass

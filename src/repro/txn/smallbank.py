@@ -22,12 +22,11 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..sim import NS_PER_S
 from .cluster import TxnCluster, TxnClusterConfig, build_txn_cluster
 from .objectstore import TxnRunResult
 
 __all__ = ["SmallBankConfig", "run_smallbank", "TXN_MIX"]
-
-NS_PER_S = 1_000_000_000
 
 #: (name, cumulative probability) — WriteCheck gets the extra weight.
 TXN_MIX = (

@@ -15,11 +15,9 @@ from typing import Optional
 from ..core.msgpool import BlockCursor
 from ..memsys import CounterMonitor
 from ..rdma import Access, Fabric, Node, NicParams, Transport, post_recv, post_send, post_write
-from ..sim import Simulator, Store
+from ..sim import NS_PER_S, Simulator, Store
 
 __all__ = ["RawVerbConfig", "RawVerbResult", "run_outbound_write", "run_inbound_write", "run_ud_send"]
-
-NS_PER_S = 1_000_000_000
 
 
 @dataclass

@@ -28,7 +28,7 @@ from ..rdma import (
     post_write,
 )
 from ..rdma.types import max_message_size
-from ..sim import Simulator
+from ..sim import NS_PER_S, Simulator
 
 __all__ = [
     "TransferResult",
@@ -39,7 +39,6 @@ __all__ = [
 ]
 
 UD_CHUNK = 4096
-NS_PER_S = 1_000_000_000
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,40 @@ class TestFigureResult:
         assert str(result) == result.render()
 
 
+class TestFormatTable:
+    def test_none_values_render_as_dash(self):
+        from repro.bench.report import format_table
+
+        result = FigureResult(
+            figure="F",
+            title="t",
+            x_label="x",
+            x_values=(1, 2),
+            series={"s": [1.0, None]},
+        )
+        assert "-" in format_table(result).splitlines()[3]
+
+    def test_unit_in_header(self, result):
+        assert "[Mops/s]" in result.render().splitlines()[0]
+
+    def test_integer_values_unpadded(self):
+        result = FigureResult(
+            figure="F",
+            title="t",
+            x_label="x",
+            x_values=("a",),
+            series={"s": [42]},
+        )
+        assert "42" in result.render() and "42.00" not in result.render()
+
+    def test_empty_series_dict(self):
+        result = FigureResult(
+            figure="F", title="t", x_label="x", x_values=(1,), series={}
+        )
+        text = result.render()  # must not raise on max() of empty sequences
+        assert "F" in text
+
+
 class TestJsonExport:
     def test_as_dict_round_trips(self, result):
         import json

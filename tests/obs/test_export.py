@@ -1,0 +1,132 @@
+"""Tests for the JSONL and Chrome trace-event exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observer,
+    load_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def artifact():
+    obs = Observer(meta={"experiment": "unit"})
+    obs.span("nic.server.tx", "write", 100, 250, {"bytes": 64})
+    obs.span("server.server.worker0", "bench", 300, 900)
+    obs.instant("server.sched", "slice_begin", 400, {"epoch": 1})
+    obs.rpc_stage(7001, "post", 50)
+    obs.rpc_stage(7001, "req_tx", 250, {"miss_stall": 30})
+    obs.rpc_stage(7001, "complete", 1000)
+    obs.rpc_stage(7002, "post", 60)
+    obs.metrics.epoch_ns = 500
+    counter = obs.metrics.counter("ops", rate=False)
+    counter.add(2)
+    obs.metrics.sample(500)
+    return obs.finish()
+
+
+class TestJsonl:
+    def test_round_trip(self, artifact, tmp_path):
+        path = tmp_path / "run.obs.jsonl"
+        write_jsonl(artifact, path)
+        assert load_jsonl(path) == artifact
+
+    def test_one_record_per_line(self, artifact, tmp_path):
+        path = tmp_path / "run.obs.jsonl"
+        write_jsonl(artifact, path)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "meta"
+        assert kinds.count("span") == len(artifact["spans"])
+        assert kinds.count("rpc") == len(artifact["rpcs"])
+        assert kinds.count("serie") == len(artifact["series"])
+
+    def test_rpc_ids_are_dense_first_appearance(self, artifact):
+        assert [rpc["id"] for rpc in artifact["rpcs"]] == [0, 1]
+
+
+class TestChromeTrace:
+    def test_valid_and_perfetto_shaped(self, artifact):
+        trace = to_chrome_trace(artifact)
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C", "b", "e"} <= phases
+        # Track names are declared as thread metadata.
+        thread_names = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert "nic.server.tx" in thread_names
+        # Spans become complete events with microsecond timestamps.
+        [x] = [e for e in events if e["ph"] == "X" and e["name"] == "write"]
+        assert x["ts"] == 0.1 and x["dur"] == 0.15  # 100 ns, 150 ns
+        # The RPC timeline becomes balanced async begin/end pairs.
+        assert len([e for e in events if e["ph"] == "b"]) == len(
+            [e for e in events if e["ph"] == "e"]
+        )
+
+    def test_counter_series_skip_none_points(self):
+        obs = Observer()
+        obs.metrics.epoch_ns = 100
+        obs.metrics.ratio("rate", "num", "den")
+        obs.metrics.sample(100)  # denominator flat -> None point
+        trace = to_chrome_trace(obs.finish())
+        # The ratio's None point is skipped; its operand counters (zero
+        # deltas) still export normally.
+        counter_names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+        assert "rate" not in counter_names
+        assert validate_chrome_trace(trace) == []
+
+    def test_write_chrome_trace(self, artifact, tmp_path):
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(artifact, path)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+class TestValidator:
+    def test_flags_unknown_phase(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "Z", "pid": 1, "tid": 0, "name": "x", "ts": 0}]}
+        )
+        assert problems
+
+    def test_flags_negative_duration(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 0, "name": "x", "ts": 0, "dur": -1}
+        ]})
+        assert problems
+
+    def test_flags_unbalanced_async(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"ph": "b", "pid": 1, "tid": 0, "name": "rpc", "ts": 0,
+             "cat": "rpc", "id": 1}
+        ]})
+        assert problems
+
+
+class TestDropAccounting:
+    def test_record_cap_counts_drops(self):
+        obs = Observer(max_records=2)
+        obs.span("t", "a", 0, 1)
+        obs.instant("t", "b", 2)
+        obs.span("t", "c", 3, 4)  # over the cap
+        artifact = obs.finish()
+        assert artifact["meta"]["dropped"] == 1
+        assert len(artifact["spans"]) + len(artifact["instants"]) == 2
+
+    def test_rpc_cap_counts_drops(self):
+        obs = Observer(max_rpcs=1)
+        obs.rpc_stage(1, "post", 0)
+        obs.rpc_stage(2, "post", 1)  # new RPC over the cap
+        obs.rpc_stage(1, "complete", 5)  # existing RPC still records
+        artifact = obs.finish()
+        assert artifact["meta"]["rpc_dropped"] == 1
+        assert len(artifact["rpcs"]) == 1
+        assert len(artifact["rpcs"][0]["stages"]) == 2

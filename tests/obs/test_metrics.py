@@ -1,0 +1,114 @@
+"""Tests for the epoch time-series registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sim import NS_PER_S, Simulator
+
+
+class TestCounterSeries:
+    def test_counter_records_epoch_deltas(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops")
+        reg.epoch_ns = 1000
+        c.add(3)
+        reg.sample(1000)
+        c.add(2)
+        reg.sample(2000)
+        reg.sample(3000)  # no movement
+        [series] = reg.as_records()
+        assert series["name"] == "ops"
+        assert series["points"] == [[1000, 3], [2000, 2], [3000, 0]]
+
+    def test_counter_rate_scaling(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops", rate=True)
+        reg.epoch_ns = 1000
+        c.add(5)
+        reg.sample(1000)
+        [series] = reg.as_records()
+        assert series["points"] == [[1000, 5 * NS_PER_S / 1000]]
+
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestDerivedSeries:
+    def test_gauge_samples_callable(self):
+        reg = MetricsRegistry()
+        box = {"v": 7}
+        reg.gauge("depth", lambda: box["v"])
+        reg.epoch_ns = 10
+        reg.sample(10)
+        box["v"] = 9
+        reg.sample(20)
+        [series] = reg.as_records()
+        assert series["points"] == [[10, 7], [20, 9]]
+
+    def test_ratio_none_when_denominator_flat(self):
+        reg = MetricsRegistry()
+        reg.ratio("hit_rate", "hits", "accesses")
+        hits, accesses = reg.counter("hits"), reg.counter("accesses")
+        reg.epoch_ns = 10
+        hits.add(3)
+        accesses.add(4)
+        reg.sample(10)
+        reg.sample(20)  # nothing moved: ratio undefined
+        records = {r["name"]: r for r in reg.as_records()}
+        assert records["hit_rate"]["points"] == [[10, 0.75], [20, None]]
+
+    def test_rate_fn_tracks_cumulative_callable(self):
+        reg = MetricsRegistry()
+        box = {"total": 0}
+        reg.rate_fn("ops_per_s", lambda: box["total"])
+        reg.epoch_ns = 1000
+        box["total"] = 4
+        reg.sample(1000)
+        box["total"] = 10
+        reg.sample(2000)
+        [series] = reg.as_records()
+        assert series["points"] == [
+            [1000, 4 * NS_PER_S / 1000],
+            [2000, 6 * NS_PER_S / 1000],
+        ]
+
+    def test_ratio_fn_delta_ratio(self):
+        reg = MetricsRegistry()
+        box = {"num": 0, "den": 0}
+        reg.ratio_fn("r", lambda: box["num"], lambda: box["den"])
+        reg.epoch_ns = 10
+        box["num"], box["den"] = 1, 2
+        reg.sample(10)
+        box["num"], box["den"] = 1, 2  # flat epoch
+        reg.sample(20)
+        [series] = reg.as_records()
+        assert series["points"] == [[10, 0.5], [20, None]]
+
+
+class TestSampler:
+    def test_sampler_runs_on_epoch_boundaries_and_stops(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        ticks = {"n": 0}
+
+        def bump():
+            while True:
+                yield sim.timeout(101)  # off the epoch grid: no tie-break races
+                ticks["n"] += 1
+
+        sim.process(bump(), name="bump")
+        reg.gauge("ticks", lambda: ticks["n"])
+        reg.start(sim, epoch_ns=250)
+        sim.run(until=1000)
+        reg.stop()
+        # Stopping lets the simulation drain instead of ticking forever.
+        sim.run(until=2000)
+        [series] = reg.as_records()
+        assert series["epoch_ns"] == 250
+        assert series["points"][:4] == [[250, 2], [500, 4], [750, 7], [1000, 9]]
+        assert len(series["points"]) <= 5  # at most one epoch after stop()
+
+    def test_start_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().start(Simulator(), epoch_ns=0)

@@ -5,9 +5,12 @@ parallel worlds and the class-level SimSanitizer patches are untouched)
 and records violations of the activation protocol:
 
 - ``duplicate-activation`` — the server granted more than one activation
-  to the same client within one epoch ("every slice activated exactly
-  once per epoch").  This is the server half of the historical
-  double-``ActivationNotice`` lost update.
+  to the same client within one epoch of one membership incarnation
+  ("every slice activated exactly once per epoch").  This is the server
+  half of the historical double-``ActivationNotice`` lost update.  A
+  lease eviction ends the incarnation: a client readmitted after
+  crash-and-reconnect may legitimately be re-activated in the same
+  epoch, so the per-client grant counts reset on ``evict``.
 - ``stale-rebind`` — a client accepted an activation whose sequence
   number was not strictly fresh, resetting its block cursor ("cursor
   rebinding only on a fresh activation sequence number").  This is the
@@ -87,6 +90,7 @@ class ProtocolObserver:
         observer = self
         orig_send_activation = server._send_activation
         orig_on_pool_write = server._on_pool_write
+        orig_evict = server.evict
 
         def send_activation(ctx, slot):
             key = (server.epoch, ctx.client_id)
@@ -119,7 +123,17 @@ class ProtocolObserver:
                         )
             return orig_on_pool_write(event)
 
+        def evict(client_id):
+            # Eviction ends the client's membership incarnation; if it
+            # reconnects and is readmitted, a fresh activation in the
+            # same epoch is the recovery protocol working, not the
+            # double-grant bug.
+            for key in [k for k in observer._granted if k[1] == client_id]:
+                del observer._granted[key]
+            return orig_evict(client_id)
+
         server._send_activation = send_activation
+        server.evict = evict
         swap_write_watcher(server.node, orig_on_pool_write, on_pool_write)
         server._on_pool_write = on_pool_write
 

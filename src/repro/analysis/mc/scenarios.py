@@ -65,11 +65,18 @@ class World:
             tuple(sorted(server._serving_ids)),
             server._draining,
             len(server._warmed_items),
+            # The group partition: rebalances and lease evictions change
+            # protocol state without touching any of the fields above.
+            tuple(
+                tuple(ctx.client_id for ctx in group.members)
+                for group in server.groups.groups
+            ),
             tuple(
                 (
                     client.state.name,
                     client._bound_seq,
                     len(client._outstanding),
+                    client._crashed,
                 )
                 for client in self.clients
             ),
@@ -104,6 +111,17 @@ def _joiner(world: World, machine: Node, join_ns: int, n_requests: int) -> Gener
     yield from _driver(world, client, n_requests, start_ns=0)
 
 
+def _crasher(world: World, crash_ns: int, recover_ns: int) -> Generator:
+    """Fail-stop client 0 at ``crash_ns``; restart it ``recover_ns``
+    later (0 = stays dead).  The recovery path (reconnect + re-announce)
+    must restore liveness for the crashed client's in-flight requests."""
+    yield world.sim.timeout(crash_ns)
+    world.clients[0].crash()
+    if recover_ns:
+        yield world.sim.timeout(recover_ns)
+        world.clients[0].restart()
+
+
 def build_world(
     name: str = "adhoc",
     n_clients: int = 2,
@@ -117,6 +135,10 @@ def build_world(
     horizon_ns: int = 300_000,
     n_server_threads: int = 1,
     mid_join_ns: int = 0,
+    rebalance_every_slices: int = 10_000,  # default: keep the partition fixed
+    lease_ns: int = 0,
+    crash_ns: int = 0,
+    recover_ns: int = 0,
     buggy: bool = False,
 ) -> World:
     """One fresh deployment; every parameter is part of the scenario."""
@@ -127,7 +149,8 @@ def build_world(
         blocks_per_client=4,
         n_server_threads=n_server_threads,
         warmup_enabled=warmup,
-        rebalance_every_slices=10_000,  # keep the partition fixed
+        rebalance_every_slices=rebalance_every_slices,
+        lease_ns=lease_ns,
     )
     sim = Simulator()
     fabric = Fabric(sim)
@@ -167,6 +190,10 @@ def build_world(
                 _joiner(world, machines[0], mid_join_ns, requests_per_client),
                 name="drv.join",
             )
+        )
+    if crash_ns:
+        world.drivers.append(
+            sim.process(_crasher(world, crash_ns, recover_ns), name="drv.crash")
         )
     return world
 
@@ -293,6 +320,36 @@ _MATRIX = [
         time_slice_ns=15_000,
         horizon_ns=400_000,
         n_server_threads=2,
+    ),
+    _scenario(
+        "rebalance-3c-2g",
+        "3 clients over two groups, rebalance every 2 slices: the "
+        "group-activation protocol must survive partitions changing "
+        "mid-exploration",
+        n_clients=3,
+        group_size=2,
+        warmup=True,
+        requests_per_client=1,
+        rounds=2,
+        gap_ns=8_000,
+        rebalance_every_slices=2,
+        time_slice_ns=15_000,
+        horizon_ns=500_000,
+    ),
+    _scenario(
+        "crash-recover-2c",
+        "2 clients, one group; client 0 fail-stops mid-run and restarts "
+        "under a server lease: evict -> reclaim -> readmit -> repost, and "
+        "its in-flight request must still complete (liveness)",
+        n_clients=2,
+        group_size=4,
+        warmup=False,
+        requests_per_client=1,
+        crash_ns=5_000,
+        recover_ns=60_000,
+        lease_ns=30_000,
+        time_slice_ns=30_000,
+        horizon_ns=600_000,
     ),
     _scenario(
         "warm-straggler-2c-2g",

@@ -26,6 +26,7 @@ from ..core.msgpool import SlotCursor
 from ..rdma.mr import Access, MemoryRegion
 from ..rdma.node import Node
 from ..rdma.types import Transport
+from ..rdma.verbs import VerbError
 from ..sim.resources import Store
 
 __all__ = ["BaselineConfig", "BaselineStats", "BaseRpcServer", "BaseRpcClient", "UdEndpoint"]
@@ -49,6 +50,11 @@ class BaselineConfig:
     #: that stops polling kills its own response path instead of absorbing
     #: unbounded completions.
     cq_overrun_fatal: bool = False
+    # -- fault tolerance (mirrors ScaleRpcConfig; all off by default) ------
+    rpc_timeout_ns: int = 0
+    reconnect_max_attempts: int = 5
+    reconnect_backoff_ns: int = 30_000
+    qpc_setup_ns: int = 30_000
 
     def __post_init__(self):
         if self.block_size < 64:
@@ -61,6 +67,12 @@ class BaselineConfig:
             raise ValueError("recv_depth must be >= 1")
         if self.recv_buf_bytes < 64:
             raise ValueError("recv_buf_bytes must be at least one cacheline")
+        if self.rpc_timeout_ns < 0:
+            raise ValueError("rpc_timeout_ns must be non-negative")
+        if self.reconnect_max_attempts < 1:
+            raise ValueError("reconnect_max_attempts must be >= 1")
+        if self.reconnect_backoff_ns <= 0 or self.qpc_setup_ns < 0:
+            raise ValueError("reconnect costs must be positive")
 
     @property
     def slot_bytes(self) -> int:
@@ -121,6 +133,12 @@ class BaseRpcServer(RpcServerApi):
         raise NotImplementedError
 
     def _send_response(self, binding: _ClientBinding, response: RpcResponse) -> None:
+        raise NotImplementedError
+
+    def reestablish(self, client: "BaseRpcClient") -> None:
+        """Rebuild the transport state for a reconnecting client (fresh
+        QPs on the same identity and regions).  Each baseline overrides
+        with its own connection shape."""
         raise NotImplementedError
 
     # -- admission -------------------------------------------------------------
@@ -216,6 +234,13 @@ class BaseRpcClient(RpcClientApi):
             server.config.slot_bytes, access=Access.all_remote(), huge_pages=False
         )
         self.completed = 0
+        # Recovery state (mirrors ScaleRpcClient; DESIGN.md section 10).
+        self._recovering = False
+        self._progress_ns = 0
+        self.timeouts = 0
+        self.reconnects = 0
+        if server.config.rpc_timeout_ns > 0:
+            self.sim.process(self._watchdog(), name=f"c{client_id}.watchdog")
 
     # -- subclass hook ----------------------------------------------------------
 
@@ -241,7 +266,16 @@ class BaseRpcClient(RpcClientApi):
             obs.rpc_stage(request.req_id, "post", self.sim.now)
         yield from self._cpu_backpressure()
         yield from self.machine.cpu.use(self._post_ns)
-        self._post_request(request)
+        self._progress_ns = self.sim.now
+        try:
+            self._post_request(request)
+        except VerbError:
+            # A crashed client's post dies with the process; the request
+            # stays outstanding and recovery reposts it after reconnect.
+            # Any other VerbError (e.g. the zombie sweep posting on an
+            # overrun-errored QP) keeps propagating.
+            if not self._crashed:
+                raise
         return handle
 
     def flush(self) -> Generator:
@@ -263,7 +297,7 @@ class BaseRpcClient(RpcClientApi):
     # -- response delivery (called by transport-specific receive paths) ------------
 
     def deliver(self, response: Any) -> None:
-        if self._stopped:
+        if self._stopped or self._crashed:
             # The client's polling loop is dead; the response is never
             # consumed (its completion rots in whatever queue carried it).
             return
@@ -274,9 +308,61 @@ class BaseRpcClient(RpcClientApi):
         handle.completed_ns = self.sim.now
         handle.event.succeed(response)
         self.completed += 1
+        self._progress_ns = self.sim.now
         obs = self.machine.fabric.obs
         if obs is not None:
             obs.rpc_stage(response.req_id, "complete", self.sim.now)
+
+    # -- fault recovery (DESIGN.md section 10) -----------------------------
+
+    def _watchdog(self) -> Generator:
+        """No completion progress for ``rpc_timeout_ns`` with requests
+        outstanding triggers the bounded reconnect path."""
+        timeout_ns = self.server.config.rpc_timeout_ns
+        period = max(timeout_ns // 2, 1)
+        while not self._stopped:
+            yield self.sim.timeout(period)
+            if self._crashed or self._recovering or not self.outstanding:
+                continue
+            if self.sim.now - self._progress_ns < timeout_ns:
+                continue
+            self.timeouts += 1
+            yield from self._recover()
+
+    def _recover(self) -> Generator:
+        """Bounded reconnect + repost with exponential backoff: pay the
+        control-plane QPC setup cost, rebuild transport state through the
+        server's ``reestablish`` hook, repost everything outstanding, and
+        wait one backoff period for progress."""
+        if self._recovering:
+            return
+        config = self.server.config
+        self._recovering = True
+        try:
+            backoff = config.reconnect_backoff_ns
+            for _attempt in range(config.reconnect_max_attempts):
+                if self._stopped or self._crashed:
+                    return
+                if any(not qp.is_ready for qp in self._fault_qps()):
+                    yield self.sim.timeout(config.qpc_setup_ns)
+                    if self._crashed:
+                        return
+                    self.server.reestablish(self)
+                    self.reconnects += 1
+                for req_id in sorted(self.outstanding):
+                    handle = self.outstanding.get(req_id)
+                    if handle is None or self._crashed:
+                        continue
+                    yield from self.machine.cpu.use(self._post_ns)
+                    self._post_request(handle.request)
+                completed_before = self.completed
+                yield self.sim.timeout(backoff)
+                if self.completed > completed_before or not self.outstanding:
+                    self._progress_ns = self.sim.now
+                    return
+                backoff *= 2
+        finally:
+            self._recovering = False
 
 
 class UdEndpoint:

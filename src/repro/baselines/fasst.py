@@ -48,6 +48,20 @@ class FasstServer(BaseRpcServer):
         )
         return client
 
+    def reestablish(self, client: "FasstClient") -> None:
+        """A reconnecting FaSST client only needs a fresh UD endpoint (its
+        single QP carries both directions); the server's shared endpoints
+        are untouched — no per-client server state exists to rebuild."""
+        binding = self.bindings[client.client_id]
+        client.ud = UdEndpoint(
+            client.machine,
+            depth=self.config.recv_depth,
+            buf_bytes=self.config.recv_buf_bytes,
+            on_receive=client._on_receive,
+            overrun_fatal=self.config.cq_overrun_fatal,
+        )
+        binding.send_ref = client.ud.handle()
+
     def _on_receive(self, completion) -> None:
         if isinstance(completion.payload, RpcRequest):
             self.dispatch(completion.payload, completion.addr)
@@ -78,6 +92,14 @@ class FasstClient(BaseRpcClient):
             on_receive=self._on_receive,
             overrun_fatal=server.config.cq_overrun_fatal,
         )
+
+    def _fault_qps(self) -> list:
+        return [self.ud.qp]
+
+    def crash(self) -> None:
+        """A crash also kills the process polling the UD CQ."""
+        super().crash()
+        self.ud.stop()
 
     def stop_polling(self) -> None:
         """Stop the UD listener: with ``cq_overrun_fatal`` the recv CQ

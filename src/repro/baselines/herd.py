@@ -56,6 +56,28 @@ class HerdServer(BaseRpcServer):
         if isinstance(event.payload, RpcRequest):
             self.dispatch(event.payload, event.addr)
 
+    def reestablish(self, client: "HerdClient") -> None:
+        """Fresh UC request pair plus a fresh client-side UD response
+        endpoint (the crashed process owned the old one's polling loop);
+        the static request region and its cursor survive."""
+        binding = self.bindings[client.client_id]
+        old = client.qp
+        if old.peer is not None:
+            old.peer.close()
+        old.close()
+        server_qp = self.node.create_qp(Transport.UC)
+        client_qp = client.machine.create_qp(Transport.UC)
+        client_qp.connect(server_qp)
+        client.qp = client_qp
+        client.ud = UdEndpoint(
+            client.machine,
+            depth=self.config.recv_depth,
+            buf_bytes=self.config.recv_buf_bytes,
+            on_receive=client._on_receive,
+            overrun_fatal=self.config.cq_overrun_fatal,
+        )
+        binding.send_ref = client.ud.handle()
+
     def _send_response(self, binding: _ClientBinding, response: RpcResponse) -> None:
         qp = self._response_qps[self.worker_index(binding.client_id)]
         post_send(
@@ -98,6 +120,14 @@ class HerdClient(BaseRpcClient):
             payload=request,
             signaled=False,
         )
+
+    def _fault_qps(self) -> list:
+        return [self.qp, self.ud.qp]
+
+    def crash(self) -> None:
+        """A crash also kills the process polling the UD response CQ."""
+        super().crash()
+        self.ud.stop()
 
     def stop_polling(self) -> None:
         """Stop the UD listener too: responses pile up in the recv CQ

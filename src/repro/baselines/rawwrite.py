@@ -55,8 +55,27 @@ class RawWriteServer(BaseRpcServer):
         if isinstance(event.payload, RpcRequest):
             self.dispatch(event.payload, event.addr)
 
+    def reestablish(self, client: "RawWriteClient") -> None:
+        """Fresh RC pair for a reconnecting client.  The static request
+        region, the client's response ring, and the server-held response
+        cursor all survive — only the connection state is rebuilt."""
+        binding = self.bindings[client.client_id]
+        old_server_qp, cursor = binding.send_ref
+        old_server_qp.close()
+        client.qp.close()
+        server_qp = self.node.create_qp(Transport.RC)
+        client_qp = client.machine.create_qp(Transport.RC)
+        client_qp.connect(server_qp)
+        client.qp = client_qp
+        binding.send_ref = (server_qp, cursor)
+
     def _send_response(self, binding: _ClientBinding, response: RpcResponse) -> None:
         server_qp, cursor = binding.send_ref
+        if not server_qp.is_ready:
+            # The client's connection is down (crash fault): the response
+            # has nowhere to land until recovery reposts the request.
+            self.stats.dropped += 1
+            return
         post_write(
             server_qp,
             local_addr=self._response_scratch(response.wire_bytes),
@@ -86,6 +105,9 @@ class RawWriteClient(BaseRpcClient):
             server.config.block_size,
             server.config.blocks_per_client,
         )
+
+    def _fault_qps(self) -> list:
+        return [self.qp]
 
     def _post_request(self, request: RpcRequest) -> None:
         post_write(

@@ -49,6 +49,15 @@ def main(argv: list[str] | None = None) -> int:
     if not names:
         parser.print_help()
         return 2
+    unknown = [name for name in names if name not in ALL_FIGURES]
+    if unknown:
+        print(
+            f"unknown figure(s): {', '.join(unknown)}\navailable figures:",
+            file=sys.stderr,
+        )
+        for name in ALL_FIGURES:
+            print(f"  {name}", file=sys.stderr)
+        return 2
     collected = {}
     for name in names:
         started = time.time()  # detlint: ignore[wall-clock] — CLI progress timing

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..dfs import MdtestConfig, run_mdtest
+from ..faults import FaultPlan
 from ..txn import ObjectStoreConfig, SmallBankConfig, TxnClusterConfig, run_object_store, run_smallbank
 from ..workloads import (
     RawVerbConfig,
@@ -34,7 +35,7 @@ __all__ = [
     "fig11a", "fig11b", "fig12", "fig13",
     "fig16a", "fig16b",
     "disc_transfer", "disc_dct", "disc_newer_hca", "abl_mechanisms",
-    "fig_overrun",
+    "fig_overrun", "fig_faults",
     "ALL_FIGURES", "run_figure",
 ]
 
@@ -640,6 +641,114 @@ def fig_overrun(quick: bool = True) -> FigureResult:
     )
 
 
+def fig_faults(quick: bool = True) -> FigureResult:
+    """The fault plane (DESIGN.md section 10): crash, recover, reclaim.
+
+    Part A — every system survives a single-client crash.  Client 0 is
+    fail-stopped mid-run (its QPs error out, in-flight responses are
+    lost) and restarted ``down`` later; the RPC timeout watchdog drives
+    the bounded reconnect + repost path and the run must observe the
+    client complete new requests after restart.  For ScaleRPC the lease
+    is set shorter than the downtime, so the server *evicts* the dead
+    client first — reclaiming its group slot and virtualized-pool region
+    — and then readmits it on reconnect; group membership must come back
+    consistent.  All of this is asserted, not just plotted.
+
+    Part B — a crash storm against ScaleRPC: rate-driven crashes
+    (exponential inter-arrival, drawn from the plan's own RNG substream)
+    of randomly chosen victims, swept over the mean time between
+    failures.
+    """
+    n_clients = 24 if quick else 80
+    measure = 300 * US if quick else 1 * MS
+    warmup = 200 * US
+    crash_at = warmup + 100 * US
+    down = 300 * US
+    rpc_timeout = 50 * US
+    lease = 100 * US  # < down: ScaleRPC evicts before the client returns
+    metrics = ("tput_mops", "injected", "recovered", "mean_recovery_us",
+               "reconnects")
+    series: dict[str, list] = {}
+    notes = [
+        f"client 0 crashes at t={crash_at // US} us, restarts "
+        f"{down // US} us later; rpc_timeout={rpc_timeout // US} us",
+        f"scalerpc lease={lease // US} us < downtime: the dead client's"
+        " slice slot and msgpool region are reclaimed, then re-granted"
+        " on readmission",
+    ]
+
+    def row(result) -> list:
+        faults = result.faults
+        recovery = faults["recovery_ns"]
+        mean_us = (sum(recovery) / len(recovery) / 1e3) if recovery else 0.0
+        return [
+            result.throughput_mops,
+            faults["injected"],
+            faults["recovered"],
+            mean_us,
+            faults["client_reconnects"],
+        ]
+
+    for system in RPC_SYSTEMS:
+        result = run_rpc_experiment(RpcExperiment(
+            system=system, n_clients=n_clients, batch_size=1,
+            warmup_ns=warmup, measure_ns=measure,
+            fault_plan=FaultPlan.single_crash(crash_at, down, target=0),
+            rpc_timeout_ns=rpc_timeout, lease_ns=lease,
+        ))
+        faults = result.faults
+        assert faults["injected"] >= 1, f"{system}: no fault injected"
+        assert faults["recovered"] >= 1, (
+            f"{system}: the crashed client never completed a request after"
+            f" restart: {faults['schedule']}"
+        )
+        assert all(lat < 2 * MS for lat in faults["recovery_ns"]), (
+            f"{system}: unbounded recovery: {faults['recovery_ns']}"
+        )
+        assert faults["client_reconnects"] >= 1, (
+            f"{system}: recovery never rebuilt connection state"
+        )
+        if system == "scalerpc":
+            health = faults["scalerpc"]
+            assert health["lease_evictions"] >= 1, (
+                "the lease reaper never reclaimed the dead client's slot"
+            )
+            assert health["readmissions"] >= 1, (
+                "the evicted client was never readmitted on reconnect"
+            )
+            assert health["slots_consistent"], (
+                f"group slots inconsistent after evict/readmit: {health}"
+            )
+            assert health["clients_registered"] == n_clients, health
+            notes.append(
+                f"scalerpc: evictions={health['lease_evictions']},"
+                f" readmissions={health['readmissions']},"
+                f" group_sizes={health['group_sizes']}"
+            )
+        series[system] = row(result)
+
+    mtbfs_us = (300, 600) if quick else (200, 400, 800)
+    for mtbf_us in mtbfs_us:
+        result = run_rpc_experiment(RpcExperiment(
+            system="scalerpc", n_clients=n_clients, batch_size=1,
+            warmup_ns=warmup, measure_ns=measure,
+            fault_plan=FaultPlan.crash_storm(
+                mtbf_ns=mtbf_us * US, down_ns=100 * US, count=3),
+            rpc_timeout_ns=rpc_timeout,
+        ))
+        series[f"scalerpc storm (mtbf {mtbf_us} us)"] = row(result)
+
+    return FigureResult(
+        figure="Fault injection",
+        title="Crash / recover / reclaim across the RPC systems",
+        x_label="metric",
+        x_values=metrics,
+        series=series,
+        unit="Mops / count / us",
+        notes=notes,
+    )
+
+
 ALL_FIGURES = {
     "fig1a": fig1a,
     "fig1b": fig1b,
@@ -661,6 +770,7 @@ ALL_FIGURES = {
     "disc_newer_hca": disc_newer_hca,
     "abl_mechanisms": abl_mechanisms,
     "fig_overrun": fig_overrun,
+    "fig_faults": fig_faults,
 }
 
 

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..faults import FaultInjector, FaultPlan
 from ..memsys import CounterMonitor, CounterRates
 from ..obs import Observer
 from ..rdma import Node
@@ -78,6 +79,13 @@ class RpcExperiment:
     cq_overrun_fatal: bool = False
     stop_polling_after_ns: Optional[int] = None
     stop_polling_fraction: float = 0.5
+    # Fault plane (DESIGN.md section 10): a declarative FaultPlan executed
+    # by a deterministic injector process, plus the recovery knobs the
+    # faults exercise.  All default off, so fault-free runs stay
+    # byte-identical to builds without the fault plane.
+    fault_plan: Optional[FaultPlan] = None
+    rpc_timeout_ns: int = 0
+    lease_ns: int = 0
 
     def __post_init__(self):
         if self.system not in SYSTEMS:
@@ -92,6 +100,10 @@ class RpcExperiment:
             raise ValueError("obs_epoch_ns must be >= 1")
         if not 0.0 < self.stop_polling_fraction <= 1.0:
             raise ValueError("stop_polling_fraction must be in (0, 1]")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError("fault_plan must be a FaultPlan (or None)")
+        if self.rpc_timeout_ns < 0 or self.lease_ns < 0:
+            raise ValueError("rpc_timeout_ns and lease_ns must be non-negative")
 
 
 @dataclass
@@ -113,6 +125,10 @@ class RpcResult:
     #: Records the fabric's bounded tracer dropped on this run — surfaced
     #: so a truncated trace is never mistaken for a complete one.
     trace_dropped: int = 0
+    #: Fault-plane summary (injection schedule + recovery outcomes, plus
+    #: server-side membership health for ScaleRPC) when the experiment ran
+    #: with a non-empty ``fault_plan``.
+    faults: Optional[dict] = None
 
 
 def build_server(experiment: RpcExperiment, node: Node, handler, handler_cost_fn):
@@ -134,6 +150,8 @@ def build_server(experiment: RpcExperiment, node: Node, handler, handler_cost_fn
         warmup_enabled=experiment.warmup_enabled,
         conn_prefetch_enabled=experiment.conn_prefetch_enabled,
         cq_overrun_fatal=experiment.cq_overrun_fatal,
+        rpc_timeout_ns=experiment.rpc_timeout_ns,
+        lease_ns=experiment.lease_ns,
     )
 
 
@@ -206,7 +224,7 @@ def _unique_cq_depth(nodes) -> int:
 
 
 def _register_bench_metrics(observer: Observer, topo: Topology, server,
-                            clients) -> None:
+                            clients, injector=None) -> None:
     """The harness' epoch series: throughput, NIC cache, DDIO, CQ depth,
     and (for ScaleRPC) the scheduler epoch.  Every series reads state the
     simulation maintains anyway, so sampling cannot perturb results."""
@@ -229,6 +247,9 @@ def _register_bench_metrics(observer: Observer, topo: Topology, server,
     metrics.gauge("cq.clients.depth", lambda: _unique_cq_depth(topo.machines))
     if hasattr(server, "epoch"):  # the ScaleRPC group scheduler's slice state
         metrics.gauge("server.sched_epoch", lambda: server.epoch)
+    if injector is not None:
+        metrics.gauge("faults.injected", lambda: injector.injected)
+        metrics.gauge("faults.recovered", lambda: injector.recovered)
 
 
 #: Pacing of a stopped client's fire-and-forget posting loop.  Real
@@ -266,8 +287,14 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     server = build_server(experiment, server_node, handler, cost_fn)
     clients = topo.connect_clients(server, experiment.n_clients)
     server.start()
+    injector = None
+    if experiment.fault_plan is not None and not experiment.fault_plan.empty:
+        injector = FaultInjector(
+            sim, topo.fabric, server, clients, experiment.fault_plan, rng
+        )
+        injector.start()
     if observer is not None:
-        _register_bench_metrics(observer, topo, server, clients)
+        _register_bench_metrics(observer, topo, server, clients, injector)
         observer.metrics.start(sim, experiment.obs_epoch_ns)
 
     stop_after = experiment.stop_polling_after_ns
@@ -380,7 +407,7 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     drain_deadline = sim.now + 8 * experiment.measure_ns
     while state["active"] > 0 and sim.now < drain_deadline:
         sim.run(until=min(sim.now + experiment.measure_ns, drain_deadline))
-    if stop_after is None:
+    if stop_after is None and injector is None:
         assert state["active"] == 0, (
             f"{state['active']} drivers still in flight after the drain phase"
         )
@@ -388,7 +415,9 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
     # In the stop-polling sweep the conservation checks are meaningless by
     # construction: stopped clients abandon their in-flight batches and
     # leave completions rotting in (possibly overrun) recv CQs — that
-    # leakage is the experiment, not a harness bug.
+    # leakage is the experiment, not a harness bug.  Fault-plan runs
+    # likewise: crashed clients legitimately abandon responses delivered
+    # while they were down.
 
     obs_artifact = None
     if observer is not None:
@@ -409,6 +438,26 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
             write_jsonl(obs_artifact, stem + ".obs.jsonl")
             write_chrome_trace(obs_artifact, stem + ".trace.json")
 
+    faults = None
+    if injector is not None:
+        faults = injector.summary()
+        faults["client_timeouts"] = sum(c.timeouts for c in clients)
+        faults["client_reconnects"] = sum(c.reconnects for c in clients)
+        if hasattr(server, "groups"):  # ScaleRPC membership health
+            groups = server.groups
+            faults["scalerpc"] = {
+                "clients_registered": len(groups.clients),
+                "group_sizes": [len(g) for g in groups.groups],
+                "slots_consistent": all(
+                    ctx.slot == i
+                    for g in groups.groups
+                    for i, ctx in enumerate(g.members)
+                ),
+                "lease_evictions": server.stats.lease_evictions,
+                "readmissions": server.stats.readmissions,
+                "reconnects": server.stats.reconnects,
+            }
+
     if not len(recorder):
         raise RuntimeError(
             f"no completed batches in the measurement window for {experiment}"
@@ -424,4 +473,5 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
         server_stats=server.stats,
         obs=obs_artifact,
         trace_dropped=topo.fabric.tracer.dropped,
+        faults=faults,
     )

@@ -69,6 +69,13 @@ class RpcClientApi(abc.ABC):
     #: (responses are never consumed), modelling the misbehaving client of
     #: the fatal-overrun sweep.  Posting still works.
     _stopped: bool = False
+    #: Set by :meth:`crash`: the whole client process is down — its QPs are
+    #: errored, posts are swallowed, and deliveries are ignored until
+    #: :meth:`restart` brings it back through the recovery path.
+    _crashed: bool = False
+    #: Fault-plane straggler: the client thread is descheduled until this
+    #: instant; posting loops stall through :meth:`_cpu_backpressure`.
+    _straggle_until_ns: int = 0
     #: Clients talking to several servers poll one completion source per
     #: server (round-robin over CQs / message regions); per completed op
     #: the thread pays ~that many poll sweeps.  Multi-participant
@@ -93,7 +100,12 @@ class RpcClientApi(abc.ABC):
         sim.process(run(), name=f"c{self.client_id}.cpu")
 
     def _cpu_backpressure(self) -> Generator:
-        """Stall while this client's deferred-CPU window is full."""
+        """Stall while this client's deferred-CPU window is full (or the
+        fault plane has descheduled the client thread)."""
+        if self._straggle_until_ns > self.machine.sim.now:
+            yield self.machine.sim.timeout(
+                self._straggle_until_ns - self.machine.sim.now
+            )
         while self._deferred_inflight >= self._deferred_window:
             if self._deferred_waiter is None or self._deferred_waiter.triggered:
                 self._deferred_waiter = self.machine.sim.event()
@@ -109,6 +121,40 @@ class RpcClientApi(abc.ABC):
         for the life of the client.
         """
         self._stopped = True
+
+    # -- fault plane (DESIGN.md section 10) --------------------------------
+
+    def _fault_qps(self) -> list:
+        """The queue pairs that die with this client process (transports
+        override; the base client owns none)."""
+        return []
+
+    def crash(self) -> None:
+        """Fail-stop the client process: its local QPs (and their peers —
+        the remote end sees the connection break) go to ERROR, in-flight
+        responses are ignored, and posts are swallowed until restart."""
+        self._crashed = True
+        for qp in self._fault_qps():
+            peer = qp.peer
+            if peer is not None:
+                peer.to_error()
+            qp.to_error()
+
+    def restart(self) -> None:
+        """Bring a crashed client back; spawns the recovery process
+        (reconnect at control-plane cost, then repost what was in
+        flight)."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.machine.sim.process(
+            self._recover(), name=f"c{self.client_id}.recover"
+        )
+
+    def _recover(self) -> Generator:
+        """Transport-specific recovery; overridden by concrete clients."""
+        return
+        yield  # pragma: no cover - makes this a generator
 
     @abc.abstractmethod
     def async_call(

@@ -89,11 +89,20 @@ class ScaleRpcClient(RpcClientApi):
         self._bound_seq = -1
         self._outstanding: dict[int, CallHandle] = {}
         self._announce_pending = False
+        # Recovery state (DESIGN.md section 10).
+        self._recovering = False
+        self._progress_ns = 0
         # Stats.
         self.completed = 0
         self.failed_retries = 0
         self.announcements = 0
         self.switch_events = 0
+        self.timeouts = 0
+        self.reconnects = 0
+        # The watchdog only exists when a timeout is configured, so the
+        # default (0) run has no extra process and stays byte-identical.
+        if config.rpc_timeout_ns > 0:
+            self.sim.process(self._watchdog(), name=f"c{client_id}.watchdog")
 
     # -- public API ---------------------------------------------------------
 
@@ -119,6 +128,7 @@ class ScaleRpcClient(RpcClientApi):
             obs.rpc_stage(request.req_id, "post", self.sim.now)
         yield from self._cpu_backpressure()
         yield from self.machine.cpu.use(self._post_ns)
+        self._progress_ns = self.sim.now
         if self.state is ClientState.PROCESS:
             self._post_direct(request)
         # Otherwise the request stays local until flush() announces it.
@@ -150,10 +160,81 @@ class ScaleRpcClient(RpcClientApi):
         """Leave the server (log out)."""
         self.server.disconnect(self.client_id)
 
+    # -- fault plane / recovery (DESIGN.md section 10) ---------------------
+
+    def _fault_qps(self) -> list:
+        return [self.qp]
+
+    def _watchdog(self) -> Generator:
+        """Detect a dead connection: no completion progress for
+        ``rpc_timeout_ns`` with requests outstanding triggers the bounded
+        backoff-and-reconnect recovery path."""
+        timeout_ns = self.server.config.rpc_timeout_ns
+        period = max(timeout_ns // 2, 1)
+        while not self._stopped:
+            yield self.sim.timeout(period)
+            if self._crashed or self._recovering or not self._outstanding:
+                continue
+            if self.sim.now - self._progress_ns < timeout_ns:
+                continue
+            self.timeouts += 1
+            yield from self._recover()
+
+    def _recover(self) -> Generator:
+        """Bounded reconnect + re-announce with exponential backoff.
+
+        Each attempt: re-establish the RC connection if it died (paying
+        the Swift-style control-plane QPC setup cost through
+        ``ScaleRpcServer.reestablish``), drop to IDLE through the
+        RECONNECT protocol event, re-announce the outstanding batch, and
+        wait one backoff period for progress.
+        """
+        if self._recovering:
+            return
+        config = self.server.config
+        self._recovering = True
+        try:
+            backoff = config.reconnect_backoff_ns
+            for _attempt in range(config.reconnect_max_attempts):
+                if self._stopped or self._crashed:
+                    return
+                if not self.qp.is_ready:
+                    yield self.sim.timeout(config.qpc_setup_ns)
+                    if self._crashed:
+                        return
+                    self.server.reestablish(self)
+                    self.reconnects += 1
+                    # A reconnect opens a new connection epoch: the server
+                    # context may have been re-admitted with fresh
+                    # activation numbering, so the freshness floor resets.
+                    self._bound_seq = -1
+                self.state = client_transition(
+                    self.state, ProtocolEvent.RECONNECT
+                )
+                self._binding = None
+                self._cursor = None
+                if not self._outstanding:
+                    self._progress_ns = self.sim.now
+                    return
+                yield from self.machine.cpu.use(self._post_ns)
+                self._announce()
+                completed_before = self.completed
+                yield self.sim.timeout(backoff)
+                if self.completed > completed_before or not self._outstanding:
+                    self._progress_ns = self.sim.now
+                    return
+                backoff *= 2
+        finally:
+            self._recovering = False
+
     # -- request posting ------------------------------------------------------
 
     def _post_direct(self, request: RpcRequest) -> None:
         """RDMA-write one request into the processing pool (PROCESS state)."""
+        if self._crashed or not self.qp.is_ready:
+            # The connection is dead; the request stays outstanding and
+            # the recovery path re-announces it after reconnect.
+            return
         assert self._cursor is not None
         addr = self._cursor.next(request.wire_bytes)
         post_write(
@@ -167,6 +248,8 @@ class ScaleRpcClient(RpcClientApi):
 
     def _announce(self) -> None:
         """Write the ``<req_addr, batch_size>`` endpoint entry (Fig. 6 step 2)."""
+        if self._crashed or not self.qp.is_ready:
+            return
         batch = [
             self._outstanding[req_id].request
             for req_id in sorted(self._outstanding)
@@ -223,9 +306,10 @@ class ScaleRpcClient(RpcClientApi):
     # -- inbound handling -------------------------------------------------
 
     def _on_response(self, event: InboundWrite) -> None:
-        if self._stopped:
-            # A stopped client's polling loop is gone: the write lands in
-            # the response ring and nobody ever reads it.
+        if self._stopped or self._crashed:
+            # A stopped client's polling loop is gone (and a crashed
+            # process reads nothing): the write lands in the response
+            # ring and nobody ever reads it.
             return
         # The client's polling loop reads the arrived message, keeping the
         # response ring LLC-resident (promotes the lines out of the DDIO
@@ -260,6 +344,7 @@ class ScaleRpcClient(RpcClientApi):
                 handle.completed_ns = self.sim.now
                 handle.event.succeed(payload)
                 self.completed += 1
+                self._progress_ns = self.sim.now
                 obs = self.machine.fabric.obs
                 if obs is not None:
                     obs.rpc_stage(payload.req_id, "complete", self.sim.now)

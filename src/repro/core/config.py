@@ -74,6 +74,20 @@ class ScaleRpcConfig:
     # RPCs whose handler exceeds this run in legacy mode after one failure
     # (paper Section 3.5).
     long_rpc_threshold_ns: int = 80 * US
+    # -- fault tolerance (DESIGN.md section 10; all off by default so a
+    # fault-free run is byte-identical to the pre-faults model) -----------
+    # Client-side watchdog: no completion progress for this long with
+    # requests outstanding triggers backoff + reconnect.  0 disables.
+    rpc_timeout_ns: int = 0
+    # Bounded reconnect: attempts and initial backoff (doubles per try).
+    reconnect_max_attempts: int = 5
+    reconnect_backoff_ns: int = 30 * US
+    # Control-plane cost of (re)establishing an RC connection — QPC
+    # exchange and modify-QP cycle (Swift, arXiv 2501.19051).
+    qpc_setup_ns: int = 30 * US
+    # Server-side lease: a client silent for this long is evicted from its
+    # group, reclaiming the scheduler slice and msgpool slot.  0 disables.
+    lease_ns: int = 0
     costs: CpuCostModel = field(default_factory=CpuCostModel)
 
     def __post_init__(self):
@@ -89,6 +103,12 @@ class ScaleRpcConfig:
             raise ValueError("n_server_threads must be >= 1")
         if not 0 < self.group_min_ratio <= 1 <= self.group_max_ratio:
             raise ValueError("group ratio bounds must bracket 1")
+        if self.rpc_timeout_ns < 0 or self.lease_ns < 0:
+            raise ValueError("timeout/lease durations must be non-negative")
+        if self.reconnect_max_attempts < 1:
+            raise ValueError("reconnect_max_attempts must be >= 1")
+        if self.reconnect_backoff_ns <= 0 or self.qpc_setup_ns < 0:
+            raise ValueError("reconnect costs must be positive")
 
     @property
     def slot_bytes(self) -> int:

@@ -51,6 +51,9 @@ class ClientContext:
     response_cursor: Optional[object] = None
     # Bounded dedup window of executed request ids (set at connect).
     recent_completed: set = field(default_factory=set)
+    # Last time the server heard from this client (entry/pool write or
+    # connect); the lease reaper evicts contexts silent past the lease.
+    last_heard_ns: int = 0
 
     def record_request(self, data_bytes: int) -> None:
         """Account one served request toward this slice's counters."""

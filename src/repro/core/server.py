@@ -75,6 +75,10 @@ class ServerStats:
     explicit_notices: int = 0
     warmup_fetches: int = 0
     warmup_requests: int = 0
+    # Fault-plane accounting (DESIGN.md section 10).
+    lease_evictions: int = 0
+    readmissions: int = 0
+    reconnects: int = 0
 
 
 @dataclass
@@ -167,6 +171,7 @@ class ScaleRpcServer(RpcServerApi):
         )
         ctx.response_cursor = SlotCursor(ctx.response_base, ctx.response_bytes)
         ctx.recent_completed = set()
+        ctx.last_heard_ns = self.sim.now
         self.groups.add_client(ctx)
         return client
 
@@ -182,6 +187,90 @@ class ScaleRpcServer(RpcServerApi):
         """Address of a client's endpoint entry."""
         return self.entries.range.base + client_id * ENTRY_BYTES
 
+    # -- fault recovery (DESIGN.md section 10) -----------------------------
+
+    def reestablish(self, client: ScaleRpcClient) -> None:
+        """Control-plane reconnect for a client whose connection died.
+
+        Tears down the dead RC QP pair and builds a fresh one (the caller
+        has already paid the Swift-style ``qpc_setup_ns`` control-plane
+        cost).  If the lease reaper evicted the client while it was down,
+        it is re-admitted with fresh context metadata — and therefore a
+        fresh activation numbering, which is why the RECONNECT protocol
+        event resets the client's freshness floor.
+        """
+        old = client.qp
+        if old.peer is not None:
+            old.peer.close()
+        old.close()
+        server_qp = self.node.create_qp(Transport.RC)
+        client_qp = client.machine.create_qp(Transport.RC)
+        client_qp.connect(server_qp)
+        client.qp = client_qp
+        ctx = self.groups.clients.get(client.client_id)
+        if ctx is None:
+            ctx = ClientContext(
+                client_id=client.client_id,
+                qp=server_qp,
+                response_base=client.responses.range.base,
+                response_bytes=client.responses.range.size,
+                staging_base=client.staging.range.base,
+            )
+            ctx.response_cursor = SlotCursor(ctx.response_base, ctx.response_bytes)
+            ctx.recent_completed = set()
+            self.groups.add_client(ctx)
+            self.stats.readmissions += 1
+        else:
+            ctx.qp = server_qp
+        ctx.warmed_up = False  # any old binding died with the old QP
+        ctx.pending_entry = None
+        ctx.last_heard_ns = self.sim.now
+        self.stats.reconnects += 1
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.instant("server.faults", "reconnect", self.sim.now,
+                        {"client": client.client_id})
+
+    def evict(self, client_id: int) -> None:
+        """Lease expiry: reclaim everything the dead client held — its
+        group membership (the scheduler slice shrinks or disappears), its
+        msgpool slot (remaining members are renumbered densely), and the
+        server-side QP."""
+        ctx = self.groups.remove_client(client_id)
+        self._serving_ids.discard(client_id)
+        self._serve_slots.pop(client_id, None)
+        self._prev_serving_ids.discard(client_id)
+        self._prev_serve_slots.pop(client_id, None)
+        self._warm_slots.pop(client_id, None)
+        if ctx.qp.peer is not None:
+            ctx.qp.peer.close()
+        ctx.qp.close()
+        self.stats.lease_evictions += 1
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.instant("server.faults", "lease_evict", self.sim.now,
+                        {"client": client_id})
+
+    def _lease_reaper(self) -> Generator:
+        """Evict dead clients whose lease expired.  Any inbound write
+        (endpoint entry or pool request) renews the lease; when it still
+        expires, the server probes the connection — a merely *idle*
+        client answers (its QP is up) and is renewed, a crashed one's
+        errored QP is evicted.  The reaper checks twice per lease."""
+        lease = self.config.lease_ns
+        period = max(lease // 2, 1)
+        while True:
+            yield self.sim.timeout(period)
+            cutoff = self.sim.now - lease
+            for client_id in sorted(self.groups.clients):
+                ctx = self.groups.clients[client_id]
+                if ctx.last_heard_ns > cutoff:
+                    continue
+                if ctx.qp.is_ready:
+                    ctx.last_heard_ns = self.sim.now  # probe answered
+                else:
+                    self.evict(client_id)
+
     def start(self) -> None:
         """Spawn worker threads, the legacy thread, and the scheduler."""
         if self._started:
@@ -191,6 +280,10 @@ class ScaleRpcServer(RpcServerApi):
             self.sim.process(self._worker(i), name=f"rpcsrv.worker{i}")
         self.sim.process(self._legacy_worker(), name="rpcsrv.legacy")
         self.sim.process(self._scheduler_loop(), name="rpcsrv.sched")
+        # Leases are opt-in: with lease_ns == 0 no reaper process exists
+        # and a fault-free run stays byte-identical.
+        if self.config.lease_ns > 0:
+            self.sim.process(self._lease_reaper(), name="rpcsrv.lease")
 
     # -- inbound event routing ----------------------------------------------
 
@@ -206,6 +299,7 @@ class ScaleRpcServer(RpcServerApi):
         if ctx is None:
             self.stats.stale_drops += 1
             return
+        ctx.last_heard_ns = self.sim.now  # lease renewal
         if (
             pool is self.pools.processing
             and request.client_id in self._serving_ids
@@ -232,6 +326,7 @@ class ScaleRpcServer(RpcServerApi):
         ctx = self.groups.clients.get(entry.client_id)
         if ctx is None:
             return
+        ctx.last_heard_ns = self.sim.now  # lease renewal
         ctx.pending_entry = entry
         if self._draining:
             # The slice is closing: no new work is admitted; the entry
@@ -307,6 +402,10 @@ class ScaleRpcServer(RpcServerApi):
         """RDMA-read one client's announced batch into ``pool``."""
         entry = ctx.pending_entry
         if entry is None:
+            return
+        if not ctx.qp.is_ready:
+            # The connection died (crash or eviction raced this fetch);
+            # keep the entry pending — it is fetched after reconnect.
             return
         ctx.pending_entry = None
         size = min(entry.total_bytes, self.config.slot_bytes)
@@ -461,6 +560,10 @@ class ScaleRpcServer(RpcServerApi):
             self._route(item)
 
     def _send_activation(self, ctx: ClientContext, slot: int) -> None:
+        if not ctx.qp.is_ready:
+            # Connection down; the client re-announces after reconnect and
+            # gets a fresh grant then.
+            return
         notice = ActivationNotice(
             binding=PoolBinding(
                 pool_base=self.pools.processing.base,
@@ -526,6 +629,8 @@ class ScaleRpcServer(RpcServerApi):
                 continue
             if ctx.client_id not in self.groups.clients:
                 continue  # disconnected mid-slice
+            if not ctx.qp.is_ready:
+                continue  # connection down (crash/eviction mid-slice)
             cursor = ctx.response_cursor
             post_write(
                 ctx.qp,

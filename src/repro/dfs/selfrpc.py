@@ -79,6 +79,11 @@ class SelfRpcServer(BaseRpcServer):
 
     def _send_response(self, binding: _ClientBinding, response: RpcResponse) -> None:
         server_qp, cursor = binding.send_ref
+        if not server_qp.is_ready:
+            # Connection down (crash fault): drop the response; recovery
+            # reposts the request after reconnect.
+            self.stats.dropped += 1
+            return
         post_write(
             server_qp,
             local_addr=self._response_scratch(response.wire_bytes),

@@ -1,0 +1,21 @@
+"""Deterministic fault injection (DESIGN.md section 10).
+
+``FaultPlan`` declares *what* goes wrong (crashes, link degradation, NIC
+cache flushes, stragglers, dead pollers) and *when* (scheduled instants
+or rate-driven arrivals); ``FaultInjector`` executes the plan as ordinary
+simulation processes drawing from dedicated ``faults.*`` RNG substreams,
+so two same-seed runs produce byte-identical fault schedules and results.
+An empty plan injects nothing and costs nothing — the same
+zero-cost-when-off bar as ``repro.obs``.
+"""
+
+from .injector import FaultInjector, FaultRecord
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+]

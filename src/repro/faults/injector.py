@@ -1,0 +1,232 @@
+"""The fault injector: executes a :class:`FaultPlan` on a live topology.
+
+One simulation process per spec.  Every random decision (inter-arrival
+gaps, victim selection) comes from that spec's own ``RngRegistry``
+substream (``faults.<index>.<kind>``), so the executed schedule — and
+therefore the whole run — is byte-identical across same-seed runs, and
+adding a spec never perturbs the draws of another.
+
+The injector also measures recovery: after restarting a crashed client
+it polls the client's completion counter at a fixed period and records
+the first-progress latency, which the bench harness surfaces as the
+``faults.*`` metric series and ``RpcResult.faults``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Generator, Optional
+
+from .plan import FaultPlan, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..rdma.fabric import Fabric
+    from ..sim.engine import Simulator
+    from ..sim.rng import RngRegistry
+
+__all__ = ["FaultInjector", "FaultRecord"]
+
+#: Poll period of the post-restart recovery monitor.
+_RECOVERY_POLL_NS = 5_000
+#: Give-up bound for the recovery monitor (per restart).
+_RECOVERY_DEADLINE_NS = 2_000_000
+#: Junk connection-cache entries inserted by ``conn_cache_poison``.
+_POISON_ENTRIES = 64
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One executed fault action (JSON-able; the determinism witness)."""
+
+    time_ns: int
+    kind: str
+    action: str
+    target: Optional[int] = None
+    detail: Optional[tuple] = None
+
+    def as_dict(self) -> dict:
+        out = {"t": self.time_ns, "kind": self.kind, "action": self.action}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.detail is not None:
+            out["detail"] = list(self.detail)
+        return out
+
+
+class FaultInjector:
+    """Runs a plan's specs as processes against one server + client set."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fabric: "Fabric",
+        server,
+        clients,
+        plan: FaultPlan,
+        rng: "RngRegistry",
+        recovery_deadline_ns: int = _RECOVERY_DEADLINE_NS,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.server = server
+        self.clients = list(clients)
+        self.plan = plan
+        self._rng = rng
+        self.recovery_deadline_ns = recovery_deadline_ns
+        #: Executed schedule, in firing order.
+        self.records: list[FaultRecord] = []
+        self.injected = 0
+        self.recovered = 0
+        #: Restart-to-first-progress latency per recovered crash.
+        self.recovery_ns: list[int] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one runner process per spec (no-op for an empty plan)."""
+        for index, spec in enumerate(self.plan.specs):
+            stream = self._rng.stream(f"faults.{index}.{spec.kind}")
+            self.sim.process(
+                self._runner(spec, stream), name=f"faults.{index}.{spec.kind}"
+            )
+
+    def schedule(self) -> list[dict]:
+        """The executed schedule as JSON-native records."""
+        return [record.as_dict() for record in self.records]
+
+    def summary(self) -> dict:
+        """JSON-native run summary (lands in ``RpcResult.faults``)."""
+        return {
+            "injected": self.injected,
+            "recovered": self.recovered,
+            "recovery_ns": list(self.recovery_ns),
+            "schedule": self.schedule(),
+        }
+
+    # -- execution -----------------------------------------------------------
+
+    def _runner(self, spec: FaultSpec, stream) -> Generator:
+        if spec.at_ns is not None:
+            delay = spec.at_ns - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            yield from self._fire(spec, stream)
+            return
+        fired = 0
+        while spec.count is None or fired < spec.count:
+            gap = max(1, int(-math.log(1.0 - stream.random()) * spec.mtbf_ns))
+            yield self.sim.timeout(gap)
+            yield from self._fire(spec, stream)
+            fired += 1
+
+    def _fire(self, spec: FaultSpec, stream) -> Generator:
+        self.injected += 1
+        if spec.kind == "client_crash":
+            yield from self._crash(spec, stream)
+        elif spec.kind == "link_degrade":
+            yield from self._degrade(spec)
+        elif spec.kind == "conn_cache_flush":
+            self._flush()
+        elif spec.kind == "conn_cache_poison":
+            self._poison()
+        elif spec.kind == "straggler":
+            self._straggle(spec, stream)
+        elif spec.kind == "stop_polling":
+            self._stop_polling(spec, stream)
+
+    def _record(self, kind: str, action: str, target: Optional[int] = None,
+                detail: Optional[tuple] = None) -> None:
+        self.records.append(
+            FaultRecord(self.sim.now, kind, action, target, detail)
+        )
+        obs = self.fabric.obs
+        if obs is not None:
+            args = {"kind": kind}
+            if target is not None:
+                args["client"] = target
+            obs.instant("faults", action, self.sim.now, args)
+
+    def _pick_client(self, spec: FaultSpec, stream):
+        if not self.clients:
+            return None
+        if spec.target is not None:
+            return self.clients[spec.target % len(self.clients)]
+        return self.clients[stream.randrange(len(self.clients))]
+
+    # -- fault kinds ---------------------------------------------------------
+
+    def _crash(self, spec: FaultSpec, stream) -> Generator:
+        client = self._pick_client(spec, stream)
+        if client is None or client._crashed:
+            return
+        self._record("client_crash", "crash", client.client_id)
+        client.crash()
+        if spec.duration_ns <= 0:
+            return  # permanent: the client stays dead
+        yield self.sim.timeout(spec.duration_ns)
+        restart_ns = self.sim.now
+        completed_before = client.completed
+        self._record("client_crash", "restart", client.client_id)
+        client.restart()
+        deadline = restart_ns + self.recovery_deadline_ns
+        while self.sim.now < deadline:
+            if client.completed > completed_before:
+                latency = self.sim.now - restart_ns
+                self.recovered += 1
+                self.recovery_ns.append(latency)
+                self._record("client_crash", "recovered", client.client_id,
+                             (latency,))
+                return
+            yield self.sim.timeout(_RECOVERY_POLL_NS)
+        self._record("client_crash", "recovery_timeout", client.client_id)
+
+    def _degrade(self, spec: FaultSpec) -> Generator:
+        healthy = self.fabric.params
+        self.fabric.params = replace(
+            healthy,
+            latency_ns=int(healthy.latency_ns * spec.latency_mult),
+            bandwidth_bytes_per_ns=(
+                healthy.bandwidth_bytes_per_ns * spec.bandwidth_mult
+            ),
+            rc_loss_rate=max(healthy.rc_loss_rate, spec.rc_loss_rate),
+        )
+        self._record(
+            "link_degrade", "degrade_begin", None,
+            (self.fabric.params.latency_ns, spec.rc_loss_rate),
+        )
+        yield self.sim.timeout(max(spec.duration_ns, 1))
+        self.fabric.params = healthy
+        self._record("link_degrade", "degrade_end")
+
+    def _flush(self) -> None:
+        nic = self.server.node.nic
+        dropped = len(nic.conn_cache) + len(nic.wqe_cache)
+        nic.conn_cache.clear()
+        nic.wqe_cache.clear()
+        self._record("conn_cache_flush", "flush", None, (dropped,))
+
+    def _poison(self) -> None:
+        # Noisy-neighbor pressure: junk QPC entries evict the live working
+        # set, so the next real sends pay the miss penalty (negative keys
+        # never collide with real QP numbers).
+        nic = self.server.node.nic
+        for junk in range(_POISON_ENTRIES):
+            nic.conn_cache.insert(-(junk + 1))
+        self._record("conn_cache_poison", "poison", None, (_POISON_ENTRIES,))
+
+    def _straggle(self, spec: FaultSpec, stream) -> None:
+        client = self._pick_client(spec, stream)
+        if client is None:
+            return
+        until = self.sim.now + max(spec.duration_ns, 1)
+        client._straggle_until_ns = max(client._straggle_until_ns, until)
+        self._record("straggler", "straggle", client.client_id,
+                     (spec.duration_ns,))
+
+    def _stop_polling(self, spec: FaultSpec, stream) -> None:
+        client = self._pick_client(spec, stream)
+        if client is None or client._stopped:
+            return
+        client.stop_polling()
+        self._record("stop_polling", "stop_polling", client.client_id)

@@ -1,0 +1,125 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultSpec` entries, each
+describing one fault source.  A spec is either *scheduled* (``at_ns``:
+fires once at an absolute simulation time) or *rate-driven*
+(``mtbf_ns``: fires repeatedly with exponential inter-arrival gaps drawn
+from that spec's own RNG substream, optionally bounded by ``count``).
+
+Plans are plain frozen data: they carry no simulation state and can be
+reused across runs.  Execution — including every random draw — belongs
+to :class:`~repro.faults.injector.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec"]
+
+#: Everything the injector knows how to do.
+FAULT_KINDS = (
+    "client_crash",      # crash a client; restart it after duration_ns (0 = stays dead)
+    "link_degrade",      # latency spike / bandwidth cut / RC loss for duration_ns
+    "conn_cache_flush",  # drop the server NIC's connection + WQE caches
+    "conn_cache_poison", # fill the server NIC's connection cache with junk entries
+    "straggler",         # descheduled client thread: posts stall for duration_ns
+    "stop_polling",      # client stops polling its CQs forever (fig_overrun's zombie)
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source within a plan."""
+
+    kind: str
+    #: Scheduled firing: absolute simulation time of the (single) fault.
+    at_ns: Optional[int] = None
+    #: Rate-driven firing: mean time between faults; exponential gaps.
+    mtbf_ns: Optional[int] = None
+    #: How long the fault lasts (crash downtime, degradation window,
+    #: straggle length).  Instantaneous kinds ignore it.
+    duration_ns: int = 0
+    #: Client index the fault targets; ``None`` draws one per firing from
+    #: the spec's RNG substream.  Kinds without a client target ignore it.
+    target: Optional[int] = None
+    #: Bound on rate-driven firings (``None`` = unbounded until horizon).
+    count: Optional[int] = None
+    # -- link_degrade shape --------------------------------------------------
+    latency_mult: float = 1.0
+    bandwidth_mult: float = 1.0
+    rc_loss_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}"
+            )
+        if (self.at_ns is None) == (self.mtbf_ns is None):
+            raise ValueError("exactly one of at_ns / mtbf_ns must be set")
+        if self.at_ns is not None and self.at_ns < 0:
+            raise ValueError("at_ns must be non-negative")
+        if self.mtbf_ns is not None and self.mtbf_ns <= 0:
+            raise ValueError("mtbf_ns must be positive")
+        if self.duration_ns < 0:
+            raise ValueError("duration_ns must be non-negative")
+        if self.count is not None and self.count <= 0:
+            raise ValueError("count must be positive when set")
+        if self.latency_mult < 0 or self.bandwidth_mult <= 0:
+            raise ValueError("degradation multipliers must be positive")
+        if not 0.0 <= self.rc_loss_rate < 1.0:
+            raise ValueError("rc_loss_rate must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault sources to run against one experiment."""
+
+    specs: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"FaultPlan entries must be FaultSpec, got {spec!r}")
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (injects nothing, costs nothing)."""
+        return cls(())
+
+    @classmethod
+    def single_crash(
+        cls, at_ns: int, down_ns: int, target: int = 0
+    ) -> "FaultPlan":
+        """Crash one client at ``at_ns``; restart it ``down_ns`` later."""
+        return cls((FaultSpec("client_crash", at_ns=at_ns,
+                              duration_ns=down_ns, target=target),))
+
+    @classmethod
+    def crash_storm(
+        cls,
+        mtbf_ns: int,
+        down_ns: int,
+        count: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Rate-driven crashes of randomly drawn clients."""
+        return cls((FaultSpec("client_crash", mtbf_ns=mtbf_ns,
+                              duration_ns=down_ns, count=count),))
+
+    @classmethod
+    def of(cls, specs: Sequence[FaultSpec]) -> "FaultPlan":
+        return cls(tuple(specs))

@@ -9,7 +9,11 @@ switch is non-blocking at the offered loads.
 ``WireParams.loss_rate`` injects packet loss for *unreliable* transports
 (UC/UD) — RC retransmits in hardware and never loses data, which is the
 reliability half of the paper's Table 1 and a reason ScaleRPC insists on
-RC for file-system payloads.
+RC for file-system payloads.  ``WireParams.rc_loss_rate`` (normally 0,
+raised by the fault plane's ``link_degrade``) additionally drops RC
+packets; those losses are *not* silent — the verb layer retransmits them
+after ``QueuePair.timeout_ns`` up to ``retry_cnt`` times, then errors the
+QP, exactly the DESIGN section 10 recovery contract.
 """
 
 from __future__ import annotations
@@ -35,6 +39,10 @@ class WireParams:
     bandwidth_bytes_per_ns: float = 7.0
     #: Probability that a packet on an *unreliable* transport is lost.
     loss_rate: float = 0.0
+    #: Probability that a *reliable* (RC) packet is lost on the wire and
+    #: must be retransmitted by the sender.  0 on a healthy fabric; the
+    #: fault plane raises it during ``link_degrade`` windows.
+    rc_loss_rate: float = 0.0
 
     def __post_init__(self):
         if self.latency_ns < 0:
@@ -43,6 +51,8 @@ class WireParams:
             raise ValueError("bandwidth must be positive")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.rc_loss_rate < 1.0:
+            raise ValueError("rc_loss_rate must be in [0, 1)")
 
 
 class Fabric:
@@ -53,9 +63,13 @@ class Fabric:
         self.sim = sim
         self.params = params or WireParams()
         self.nodes: list["Node"] = []
-        self._loss_rng = RngRegistry(seed).stream("fabric.loss")
+        rng = RngRegistry(seed)
+        self._loss_rng = rng.stream("fabric.loss")
+        self._rc_loss_rng = rng.stream("fabric.rc_loss")
         #: Packets dropped on unreliable transports.
         self.packets_lost = 0
+        #: RC packets dropped (each one triggers a sender retransmit).
+        self.rc_packets_lost = 0
         #: Optional verb-level tracer (disabled by default); the verb
         #: layer emits one record per verb when enabled.
         self.tracer = tracer or Tracer(enabled=False)
@@ -76,9 +90,19 @@ class Fabric:
         self.nodes.append(node)
 
     def drops_packet(self, reliable: bool) -> bool:
-        """Loss decision for one packet; reliable transports never lose
-        (RC retransmission is hardware, off the model's fast path)."""
-        if reliable or self.params.loss_rate == 0.0:
+        """Loss decision for one packet.  Reliable transports only lose
+        when the fault plane sets ``rc_loss_rate`` (and the verb layer
+        then retransmits); with both rates at 0 no RNG is consumed, so a
+        run without faults is byte-identical to one before the fault
+        plane existed."""
+        if reliable:
+            if self.params.rc_loss_rate == 0.0:
+                return False
+            if self._rc_loss_rng.random() < self.params.rc_loss_rate:
+                self.rc_packets_lost += 1
+                return True
+            return False
+        if self.params.loss_rate == 0.0:
             return False
         if self._loss_rng.random() < self.params.loss_rate:
             self.packets_lost += 1

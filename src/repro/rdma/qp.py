@@ -120,6 +120,17 @@ class QueuePair:
         self.recvs_posted = 0
         self.recvs_consumed = 0
         self.rnr_drops = 0
+        # Reliable-transport retry attributes (ibv_qp_attr analogues).
+        # retry_cnt bounds fabric-loss retransmits; rnr_retry bounds
+        # receiver-not-ready retries (0 keeps the historical silent-drop
+        # behavior); both exhaust into ERROR, like hardware.
+        self.retry_cnt = 7
+        self.rnr_retry = 0
+        self.timeout_ns = 16_000
+        self.rnr_timeout_ns = 12_000
+        self.retransmits = 0
+        self.rnr_retries = 0
+        self.retry_exhausted = 0
 
     @property
     def state(self) -> QpState:
@@ -171,6 +182,24 @@ class QueuePair:
         """Force the QP into ERROR (CQ overrun, async fatal events)."""
         if self._state is not QpState.ERROR:
             self.state = QpState.ERROR
+
+    def reset(self) -> None:
+        """Recover an errored QP: ERROR -> RESET -> INIT (the modify-QP
+        cycle a reconnect drives).  Unlinks the peer on both sides so a
+        fresh ``connect()`` is legal; UD QPs go straight back to RTS."""
+        if self._state is not QpState.ERROR:
+            raise QpError(
+                f"reset() is error recovery; QP {self.qp_num} is in "
+                f"{self._state.value}"
+            )
+        peer = self.peer
+        if peer is not None:
+            peer.peer = None
+            self.peer = None
+        self.state = QpState.RESET
+        self.state = QpState.INIT
+        if self.transport is Transport.UD:
+            self.state = QpState.RTS
 
     def close(self) -> None:
         """Tear the QP down (``ibv_destroy_qp`` analogue).

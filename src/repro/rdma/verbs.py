@@ -70,7 +70,7 @@ def _validate(qp: QueuePair, opcode: Opcode, size: int) -> None:
 
 
 def _complete(qp: QueuePair, wr: WorkRequest, byte_len: int, signaled: bool,
-              payload: Any = None) -> None:
+              payload: Any = None, status: str = "success") -> None:
     completion = Completion(
         wr_id=wr.wr_id,
         opcode=wr.opcode,
@@ -78,10 +78,34 @@ def _complete(qp: QueuePair, wr: WorkRequest, byte_len: int, signaled: bool,
         byte_len=byte_len,
         payload=payload,
         timestamp_ns=qp.node.sim.now,
+        status=status,
     )
     if signaled:
         qp.send_cq.push(completion)
     wr.completion.succeed(completion)
+
+
+def _rc_retransmit(qp: QueuePair, local_addr: Optional[int], size: int) -> Generator:
+    """Sender-side reliable delivery: when the fabric drops an RC packet
+    the sender waits out its ACK timeout and retransmits (re-paying the
+    NIC WQE processing), up to ``retry_cnt`` times.  Exhaustion errors
+    the QP — the hardware's IBV_WC_RETRY_EXC_ERR — and returns False so
+    the caller completes the WR with an error status instead of landing
+    the payload.  With ``rc_loss_rate == 0`` this yields nothing and
+    returns immediately, keeping the healthy fast path byte-identical."""
+    fabric = qp.node.fabric
+    if not fabric.drops_packet(True):
+        return True
+    sim = qp.node.sim
+    for _attempt in range(qp.retry_cnt):
+        qp.retransmits += 1
+        yield sim.timeout(qp.timeout_ns)
+        yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
+        if not fabric.drops_packet(True):
+            return True
+    qp.retry_exhausted += 1
+    qp.to_error()
+    return False
 
 
 def _conn_key(qp: QueuePair) -> Optional[int]:
@@ -178,7 +202,12 @@ def _write_flow(qp, wr, local_addr, remote_addr, size, payload, imm_data, signal
     service, stall = yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
     if obs is not None:
         _tx_obs(obs, qp.node, verb, size, service, stall, req_id, request)
-    if fabric.drops_packet(qp.transport.is_reliable):
+    if qp.transport.is_reliable:
+        delivered = yield from _rc_retransmit(qp, local_addr, size)
+        if not delivered:
+            _complete(qp, wr, size, signaled, status="retry-exceeded")
+            return
+    elif fabric.drops_packet(False):
         # UC write lost in the fabric: the sender still completes (no acks
         # on unreliable transports); nothing lands at the target.
         _complete(qp, wr, size, signaled)
@@ -275,17 +304,37 @@ def _send_flow(qp, wr, dest_qp, size, payload, local_addr, signaled) -> Generato
     service, stall = yield from qp.node.nic.tx(_conn_key(qp), local_addr, size)
     if obs is not None:
         _tx_obs(obs, qp.node, "send", size, service, stall, req_id, request)
-    if fabric.drops_packet(qp.transport.is_reliable):
+    if qp.transport.is_reliable:
+        delivered = yield from _rc_retransmit(qp, local_addr, size)
+        if not delivered:
+            _complete(qp, wr, size, signaled, status="retry-exceeded")
+            return
+    elif fabric.drops_packet(False):
         _complete(qp, wr, size, signaled)
         return
     yield sim.timeout(fabric.params.latency_ns)
     if obs is not None:
         _wire_obs(obs, req_id, request, sim.now)
     wqe = dest_qp.consume_recv_wqe()
+    if wqe is None and qp.transport.is_reliable and qp.rnr_retry > 0:
+        # RC responder-not-ready: the responder RNR-NAKs and the sender
+        # backs off and reposts, up to rnr_retry times.
+        for _attempt in range(qp.rnr_retry):
+            qp.rnr_retries += 1
+            yield sim.timeout(qp.rnr_timeout_ns)
+            wqe = dest_qp.consume_recv_wqe()
+            if wqe is not None:
+                break
+        if wqe is None:
+            qp.retry_exhausted += 1
+            qp.to_error()
+            yield from target.nic.rx_control()
+            _complete(qp, wr, size, signaled, status="rnr-retry-exceeded")
+            return
     if wqe is None:
         # Receiver not ready.  Unreliable transports drop silently; an RC
-        # responder would RNR-NAK and retry, which our systems never rely
-        # on — surface it as a drop counter either way.
+        # sender with rnr_retry == 0 keeps the historical silent-drop
+        # behavior — surface it as a drop counter either way.
         dest_qp.rnr_drops += 1
         yield from target.nic.rx_control()
     else:

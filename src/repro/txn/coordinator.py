@@ -89,6 +89,10 @@ class TxnCoordinator:
         # Scratch for one-sided landings/sources.
         self._scratch = machine.register_memory(4096, access=Access.all_remote())
         self._scratch_off = 0
+        # Dense per-coordinator transaction index for obs span args: the
+        # global txn_id comes from a process-wide counter and would differ
+        # between two same-seed runs in one interpreter.
+        self._txn_index = 0
 
     def _scratch_addr(self) -> int:
         addr = self._scratch.range.base + self._scratch_off
@@ -110,6 +114,13 @@ class TxnCoordinator:
         execution-phase reads: ``compute(values_by_key) -> writes_by_key``.
         """
         txn_id = next_txn_id()
+        # Lifecycle spans (repro.obs): one track per coordinator machine,
+        # one span per protocol phase (lock -> validate -> log -> commit),
+        # an instant per abort.  Zero-cost while no observer is installed.
+        obs = self.machine.fabric.obs
+        txn_index = self._txn_index
+        self._txn_index += 1
+        track = f"txn.{self.machine.name}"
         shards: dict[int, tuple[list, list]] = {}
         for key in read_set:
             shards.setdefault(self.shard_of(key), ([], []))[0].append(key)
@@ -117,6 +128,7 @@ class TxnCoordinator:
             shards.setdefault(self.shard_of(key), ([], []))[1].append(key)
 
         # -- Execution ---------------------------------------------------
+        phase_start = self.sim.now
         handles = []
         for shard, (r_keys, w_keys) in shards.items():
             message = ExecuteRequest(txn_id, tuple(r_keys), tuple(w_keys))
@@ -131,9 +143,15 @@ class TxnCoordinator:
             (response,) = yield from self.rpcs[shard].poll_completions([handle])
             replies.append((shard, response.payload))
         locked = {shard: reply.locked for shard, reply in replies if reply.ok}
+        if obs is not None:
+            obs.span(track, "lock", phase_start, self.sim.now,
+                     {"txn": txn_index, "shards": len(shards)})
         if not all(reply.ok for _shard, reply in replies):
             yield from self._abort(txn_id, locked)
             self.stats.aborted_locks += 1
+            if obs is not None:
+                obs.instant(track, "abort_locks", self.sim.now,
+                            {"txn": txn_index})
             return False
         views: dict[Hashable, ItemView] = {}
         for _shard, reply in replies:
@@ -142,10 +160,17 @@ class TxnCoordinator:
 
         # -- Validation ----------------------------------------------------
         if read_set:
+            phase_start = self.sim.now
             ok = yield from self._validate(txn_id, read_set, views)
+            if obs is not None:
+                obs.span(track, "validate", phase_start, self.sim.now,
+                         {"txn": txn_index, "reads": len(read_set)})
             if not ok:
                 yield from self._abort(txn_id, locked)
                 self.stats.aborted_validation += 1
+                if obs is not None:
+                    obs.instant(track, "abort_validation", self.sim.now,
+                                {"txn": txn_index})
                 return False
 
         # -- Log + Commit ---------------------------------------------------
@@ -154,8 +179,16 @@ class TxnCoordinator:
             writes = dict(write_set)
             if compute is not None:
                 writes = compute(values)
+            phase_start = self.sim.now
             yield from self._log(txn_id, writes)
+            if obs is not None:
+                obs.span(track, "log", phase_start, self.sim.now,
+                         {"txn": txn_index, "writes": len(writes)})
+            phase_start = self.sim.now
             yield from self._commit(txn_id, writes, views)
+            if obs is not None:
+                obs.span(track, "commit", phase_start, self.sim.now,
+                         {"txn": txn_index, "writes": len(writes)})
         self.stats.committed += 1
         return True
 

@@ -1,0 +1,111 @@
+"""Fault determinism: same seed => byte-identical fault schedule and
+results; an empty plan => byte-identical to no plan at all.
+
+The witness serializes the executed schedule (every firing's simulated
+time, kind, action, victim) plus the run's measured outputs.  The
+schedule comes entirely from dedicated ``faults.*`` RNG substreams, so
+it must survive re-running in the same interpreter (global counters such
+as req_id / qp_num keep advancing and must never leak in).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import RpcExperiment, run_rpc_experiment
+from repro.faults import FaultPlan, FaultSpec
+
+US = 1_000
+
+_STORM = FaultPlan.of([
+    FaultSpec("client_crash", mtbf_ns=150 * US, duration_ns=80 * US, count=2),
+    FaultSpec("link_degrade", at_ns=200 * US, duration_ns=60 * US,
+              latency_mult=4.0, rc_loss_rate=0.2),
+    FaultSpec("conn_cache_flush", at_ns=320 * US),
+    FaultSpec("straggler", mtbf_ns=220 * US, duration_ns=30 * US, count=1),
+])
+
+
+def _run(system, seed, plan):
+    experiment = RpcExperiment(
+        system=system,
+        n_clients=6,
+        n_client_machines=2,
+        group_size=6,
+        n_server_threads=2,
+        warmup_ns=100 * US,
+        measure_ns=400 * US,
+        time_slice_ns=50 * US,
+        seed=seed,
+        fault_plan=plan,
+        rpc_timeout_ns=60 * US if plan is not None else 0,
+        lease_ns=120 * US if plan is not None else 0,
+    )
+    result = run_rpc_experiment(experiment)
+    payload = {
+        "system": system,
+        "seed": seed,
+        "completed": result.completed_ops,
+        "window_ns": result.window_ns,
+        "median_ns": result.latency.median_ns,
+        "p99_ns": result.latency.p99_ns,
+        "faults": result.faults,
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+@pytest.mark.parametrize("system", ["scalerpc", "rawwrite"])
+def test_same_seed_same_schedule_and_results(system):
+    first = _run(system, seed=23, plan=_STORM)
+    second = _run(system, seed=23, plan=_STORM)
+    assert first == second
+    decoded = json.loads(first)
+    # The plan actually fired: crashes + degrade + flush all executed.
+    kinds = {record["kind"] for record in decoded["faults"]["schedule"]}
+    assert {"client_crash", "link_degrade", "conn_cache_flush"} <= kinds
+    assert decoded["faults"]["injected"] >= 4
+    assert decoded["completed"] > 0
+
+
+def test_different_seed_shifts_the_schedule():
+    """Rate-driven firings must draw from the seeded substream."""
+    first = json.loads(_run("scalerpc", seed=23, plan=_STORM))
+    second = json.loads(_run("scalerpc", seed=24, plan=_STORM))
+    crash_times = lambda decoded: [
+        record["t"] for record in decoded["faults"]["schedule"]
+        if record["kind"] == "client_crash"
+    ]
+    assert crash_times(first) != crash_times(second)
+
+
+@pytest.mark.parametrize("system", ["scalerpc", "rawwrite"])
+def test_empty_plan_is_byte_identical_to_no_plan(system):
+    """FaultPlan.none() must not spawn the injector, draw RNG, or perturb
+    the run in any way — the zero-cost-when-off bar."""
+    without = _run(system, seed=5, plan=None)
+    with_empty = _run(system, seed=5, plan=FaultPlan.none())
+    # The empty-plan run reports faults=None exactly like the no-plan run.
+    assert json.loads(with_empty)["faults"] is None
+    assert without == with_empty
+
+
+def test_idle_recovery_knobs_do_not_fire():
+    """Timeout watchdog + lease reaper enabled but never triggered: the
+    run completes with zero timeouts, reconnects, and evictions."""
+    experiment = RpcExperiment(
+        system="scalerpc",
+        n_clients=6,
+        n_client_machines=2,
+        group_size=6,
+        n_server_threads=2,
+        warmup_ns=100 * US,
+        measure_ns=300 * US,
+        time_slice_ns=50 * US,
+        seed=5,
+        rpc_timeout_ns=500 * US,
+        lease_ns=500 * US,
+    )
+    result = run_rpc_experiment(experiment)
+    assert result.completed_ops > 0
+    assert result.server_stats.lease_evictions == 0
+    assert result.server_stats.readmissions == 0

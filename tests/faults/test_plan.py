@@ -1,0 +1,84 @@
+"""FaultPlan / FaultSpec: plain frozen data, validated at construction."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor_strike", at_ns=1)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec("client_crash")
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec("client_crash", at_ns=1, mtbf_ns=1)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("client_crash", at_ns=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("client_crash", mtbf_ns=0)
+        with pytest.raises(ValueError):
+            FaultSpec("client_crash", at_ns=1, duration_ns=-1)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec("client_crash", mtbf_ns=10, count=0)
+
+    def test_degradation_shape_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec("link_degrade", at_ns=1, bandwidth_mult=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec("link_degrade", at_ns=1, rc_loss_rate=1.0)
+
+    def test_specs_are_frozen(self):
+        spec = FaultSpec("client_crash", at_ns=5)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.at_ns = 6
+
+    def test_every_kind_constructible(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind, at_ns=1).kind == kind
+
+
+class TestFaultPlan:
+    def test_none_is_empty(self):
+        plan = FaultPlan.none()
+        assert plan.empty
+        assert len(plan) == 0
+        assert list(plan) == []
+
+    def test_single_crash_shape(self):
+        plan = FaultPlan.single_crash(at_ns=100, down_ns=50, target=3)
+        (spec,) = plan
+        assert spec.kind == "client_crash"
+        assert spec.at_ns == 100
+        assert spec.duration_ns == 50
+        assert spec.target == 3
+        assert not plan.empty
+
+    def test_crash_storm_shape(self):
+        plan = FaultPlan.crash_storm(mtbf_ns=1_000, down_ns=200, count=4)
+        (spec,) = plan
+        assert spec.mtbf_ns == 1_000
+        assert spec.at_ns is None
+        assert spec.count == 4
+        assert spec.target is None  # victim drawn per firing
+
+    def test_of_accepts_any_sequence(self):
+        specs = [
+            FaultSpec("conn_cache_flush", at_ns=10),
+            FaultSpec("straggler", mtbf_ns=500, duration_ns=100),
+        ]
+        plan = FaultPlan.of(specs)
+        assert len(plan) == 2
+        assert plan.specs == tuple(specs)
+
+    def test_non_spec_entries_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(("not a spec",))

@@ -15,7 +15,8 @@ import json
 import sys
 import time
 
-from .experiments import ALL_FIGURES, run_figure
+from ..transport import backend_names
+from .experiments import ALL_FIGURES, BACKEND_FIGURES, run_figure
 from .harness import set_obs_export_dir
 
 
@@ -30,6 +31,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="full paper-scale sweeps (slower)")
     parser.add_argument("--list", action="store_true", help="list figures")
+    parser.add_argument("--backend", default="sim",
+                        help="execution backend for figures that support one"
+                             " (e.g. fig_real); default: sim")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the results as JSON to PATH")
     parser.add_argument("--obs", metavar="DIR",
@@ -58,10 +62,19 @@ def main(argv: list[str] | None = None) -> int:
         for name in ALL_FIGURES:
             print(f"  {name}", file=sys.stderr)
         return 2
+    if args.backend not in backend_names():
+        print(
+            f"unknown backend: {args.backend}\navailable backends:",
+            file=sys.stderr,
+        )
+        for name in backend_names():
+            print(f"  {name}", file=sys.stderr)
+        return 2
     collected = {}
     for name in names:
         started = time.time()  # detlint: ignore[wall-clock] — CLI progress timing
-        result = run_figure(name, quick=not args.full)
+        backend = args.backend if name in BACKEND_FIGURES else "sim"
+        result = run_figure(name, quick=not args.full, backend=backend)
         print(result.render())
         print(f"  ({time.time() - started:.1f}s)\n")  # detlint: ignore[wall-clock]
         collected[name] = result.as_dict()

@@ -35,8 +35,8 @@ __all__ = [
     "fig11a", "fig11b", "fig12", "fig13",
     "fig16a", "fig16b",
     "disc_transfer", "disc_dct", "disc_newer_hca", "abl_mechanisms",
-    "fig_overrun", "fig_faults",
-    "ALL_FIGURES", "run_figure",
+    "fig_overrun", "fig_faults", "fig_real",
+    "ALL_FIGURES", "BACKEND_FIGURES", "run_figure",
 ]
 
 US = 1_000
@@ -749,6 +749,69 @@ def fig_faults(quick: bool = True) -> FigureResult:
     )
 
 
+def fig_real(quick: bool = True, backend: str = "proc") -> FigureResult:
+    """Sim vs reality: the same echo workload on both backends.
+
+    The backend seam's acceptance test (DESIGN.md section 11): an
+    identical small closed-loop batched echo workload runs once on the
+    simulated fabric and once as real OS processes over asyncio loopback
+    sockets, through the same registry and the same call surface.  The
+    comparison is of *shape*, never absolute numbers — the simulator
+    models a 56 Gbps RDMA fabric, the real run is python frames over
+    kernel TCP, so the sim is orders of magnitude faster; what must
+    match is accounting: every issued op completes on both backends, and
+    both emit the same obs lifecycle stages.  The completed-op and span
+    checks are asserted, not just plotted.
+    """
+    from ..net import ProcWorkload, run_proc_workload
+    from ..transport import backend_names
+
+    if backend != "proc":
+        raise ValueError(
+            f"fig_real compares sim against a real backend; got {backend!r}"
+            f" (available backends: {', '.join(backend_names())})"
+        )
+    counts = (2, 4) if quick else (2, 4, 8)
+    ops = 40 if quick else 200
+    batch = 4
+    sim_kops, real_kops = [], []
+    notes = [
+        "shape, not speed: the simulator models RDMA hardware, the real"
+        " backend is python-over-TCP — compare trends across client"
+        " counts, not magnitudes",
+    ]
+    for n in counts:
+        sim = run_rpc_experiment(RpcExperiment(
+            system="scalerpc", n_clients=n, n_client_machines=1,
+            batch_size=batch, warmup_ns=100 * US, measure_ns=400 * US))
+        sim_kops.append(sim.throughput_mops * 1e3)
+        real = run_proc_workload(ProcWorkload(
+            transport="scalerpc", n_clients=n, ops_per_client=ops,
+            batch_size=batch, timeout_s=120.0))
+        assert real.completed_ops == n * ops, (
+            f"real backend lost ops: {real.completed_ops}/{n * ops}"
+        )
+        assert real.obs_spans > 0 and real.obs_rpcs > 0, (
+            "real backend produced no obs lifecycle telemetry"
+        )
+        real_kops.append(real.throughput_mops * 1e3)
+        notes.append(
+            f"{n} clients: real completed {real.completed_ops}/{n * ops} ops"
+            f" in {real.wall_ns / 1e6:.1f} ms across {n} processes"
+            f" ({real.obs_spans} spans, {real.obs_rpcs} rpc timelines,"
+            f" reconnects={real.reconnects})"
+        )
+    return FigureResult(
+        figure="Sim vs real backend",
+        title="Same echo workload: simulated fabric vs real asyncio processes",
+        x_label="clients",
+        x_values=counts,
+        series={"sim (Kops/s)": sim_kops, "real proc (Kops/s)": real_kops},
+        unit="Kops/s",
+        notes=notes,
+    )
+
+
 ALL_FIGURES = {
     "fig1a": fig1a,
     "fig1b": fig1b,
@@ -771,15 +834,32 @@ ALL_FIGURES = {
     "abl_mechanisms": abl_mechanisms,
     "fig_overrun": fig_overrun,
     "fig_faults": fig_faults,
+    "fig_real": fig_real,
 }
 
+#: Figures that take a ``backend`` argument (``--backend`` on the CLI).
+#: Everything else models RDMA hardware and only runs on the simulator.
+BACKEND_FIGURES = frozenset({"fig_real"})
 
-def run_figure(name: str, quick: bool = True) -> FigureResult:
-    """Run one figure by name (see ``ALL_FIGURES``)."""
+
+def run_figure(name: str, quick: bool = True, backend: str = "sim") -> FigureResult:
+    """Run one figure by name (see ``ALL_FIGURES``).
+
+    ``backend`` other than ``"sim"`` only applies to figures in
+    :data:`BACKEND_FIGURES`; the rest are simulator measurements of
+    modeled RDMA hardware and have no real-backend counterpart.
+    """
     try:
         fn = ALL_FIGURES[name]
     except KeyError:
         raise ValueError(
             f"unknown figure {name!r}; pick from {sorted(ALL_FIGURES)}"
         ) from None
+    if backend != "sim":
+        if name not in BACKEND_FIGURES:
+            raise ValueError(
+                f"figure {name!r} only runs on the sim backend; "
+                f"--backend {backend} applies to: {', '.join(sorted(BACKEND_FIGURES))}"
+            )
+        return fn(quick=quick, backend=backend)
     return fn(quick=quick)

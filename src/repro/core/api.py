@@ -1,52 +1,34 @@
-"""The RPC programming interface shared by ScaleRPC and all baselines.
+"""The simulation driver of the RPC programming interface.
 
-The paper's porting story (Section 3.5) is that only the RPC subsystem is
-replaced; systems above see ``SyncCall`` / ``AsyncCall`` / ``PollCompletion``
-regardless of transport.  Every RPC stack in this repository — ScaleRPC,
-RawWrite, HERD, FaSST — implements this interface, which is what lets the
-distributed file system and the transaction system swap transports with a
-constructor argument.
+The backend-neutral contract — ``SyncCall`` / ``AsyncCall`` /
+``PollCompletion`` and the :class:`CallHandle` state machine — lives in
+:mod:`repro.core.interface`; this module is its *sim driver*: every RPC
+stack on the simulated fabric — ScaleRPC, RawWrite, HERD, FaSST —
+implements :class:`RpcClientApi` / :class:`RpcServerApi`, which is what
+lets the distributed file system and the transaction system swap
+transports with a constructor argument.  The real-process driver of the
+same interface is :mod:`repro.net`.
 
-All calls are simulation generators: drive them with ``yield from`` inside
-a process.
+All calls here are simulation generators: drive them with ``yield from``
+inside a sim process.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from ..rdma.node import Node
 from ..sim.engine import Event
-from .message import RpcRequest, RpcResponse
+from .interface import CallHandle, RpcCallerInterface, RpcServiceInterface
+from .message import RpcRequest, RpcResponse  # noqa: F401  (re-export)
 
 __all__ = ["CallHandle", "RpcClientApi", "RpcServerApi"]
 
 
-@dataclass
-class CallHandle:
-    """Tracks one in-flight RPC from post to response."""
-
-    request: RpcRequest
-    event: Event = field(repr=False)
-    posted_ns: int = 0
-    completed_ns: Optional[int] = None
-    response: Optional[RpcResponse] = None
-
-    @property
-    def done(self) -> bool:
-        return self.response is not None
-
-    @property
-    def latency_ns(self) -> Optional[int]:
-        if self.completed_ns is None:
-            return None
-        return self.completed_ns - self.posted_ns
-
-
-class RpcClientApi(abc.ABC):
-    """Client-side API: the paper's SyncCall / AsyncCall / PollCompletion."""
+class RpcClientApi(RpcCallerInterface):
+    """Sim-driver client API: the paper's SyncCall / AsyncCall /
+    PollCompletion as simulation generators."""
 
     client_id: int
     machine: Node
@@ -186,8 +168,8 @@ class RpcClientApi(abc.ABC):
         return responses[0]
 
 
-class RpcServerApi(abc.ABC):
-    """Server-side API: handler registration and client admission."""
+class RpcServerApi(RpcServiceInterface):
+    """Sim-driver server API: handler registration and client admission."""
 
     node: Node
 

@@ -6,14 +6,24 @@ updates memory in increasing address order: once the trailing ``Valid``
 byte is set, the earlier fields are guaranteed complete, so the server
 detects arrival by polling ``Valid`` alone (Section 3.1).
 
-Requests and responses travel as payload objects through the simulated
-fabric; :func:`wire_size` accounts for the header fields when charging the
-NIC and caches.
+On the simulated fabric, requests and responses travel as payload objects
+and :func:`wire_size` accounts for the header fields when charging the NIC
+and caches.  For backends that move real bytes (:mod:`repro.net`), the
+same dataclasses have a deterministic, round-trippable wire encoding —
+:func:`encode_request` / :func:`decode_request` and
+:func:`encode_response` / :func:`decode_response`: a fixed binary header
+(kind, version, flags, ids, modeled data size), a CRC-32 of the tail, and
+a canonical-JSON tail for the variable-length fields.  Corrupt or
+oversized frames are rejected with :exc:`WireFormatError` at decode, never
+silently misparsed.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -21,14 +31,22 @@ __all__ = [
     "MSG_LEN_BYTES",
     "VALID_BYTES",
     "HEADER_BYTES",
+    "MAX_WIRE_BYTES",
+    "WIRE_VERSION",
     "RpcRequest",
     "RpcResponse",
     "PoolBinding",
     "EndpointEntry",
     "ContextSwitchNotice",
     "ActivationNotice",
+    "WireFormatError",
     "wire_size",
     "layout_in_block",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "decode_message",
 ]
 
 MSG_LEN_BYTES = 4
@@ -144,6 +162,175 @@ class ContextSwitchNotice:
     @property
     def wire_bytes(self) -> int:
         return wire_size(self.data_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic wire format (the real-byte backends' encoding)
+# ---------------------------------------------------------------------------
+#
+# Layout of one encoded message (all integers big-endian):
+#
+#   | kind u8 | version u8 | flags u16 | client_id u32 | req_id u64 |
+#   | data_bytes u32 | tail_len u32 | tail_crc32 u32 | tail bytes   |
+#
+# The tail is canonical JSON (sorted keys, tight separators, ASCII-only)
+# of the message's variable-length fields, so encoding the same message
+# twice yields identical bytes.  Payloads crossing a process boundary must
+# therefore be JSON-representable (None/bool/int/float/str/list/dict);
+# tuples are normalized to lists.  Sim-only runs keep passing arbitrary
+# in-memory payloads — they never hit this encoder.
+
+WIRE_VERSION = 1
+#: Hard bound on one encoded message; larger frames are rejected on both
+#: encode and decode (a corrupted length prefix must not allocate
+#: unbounded memory).
+MAX_WIRE_BYTES = 1 << 20
+
+_KIND_REQUEST = 1
+_KIND_RESPONSE = 2
+
+_WIRE_HEADER = struct.Struct("!BBHIQII")
+_WIRE_CRC = struct.Struct("!I")
+
+_FLAG_FAILED = 1 << 0
+_FLAG_CONTEXT_SWITCH = 1 << 1
+
+
+class WireFormatError(ValueError):
+    """A message failed to encode for, or decode from, the wire."""
+
+
+def _canonical_json(obj: Any) -> bytes:
+    try:
+        text = json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                          ensure_ascii=True, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(
+            f"payload is not wire-encodable (JSON-representable): {exc}"
+        ) from None
+    return text.encode("ascii")
+
+
+def _pack(kind: int, flags: int, client_id: int, req_id: int,
+          data_bytes: int, tail_obj: Any) -> bytes:
+    tail = _canonical_json(tail_obj)
+    try:
+        header = _WIRE_HEADER.pack(kind, WIRE_VERSION, flags, client_id,
+                                   req_id, data_bytes, len(tail))
+    except struct.error as exc:
+        raise WireFormatError(f"header field out of range: {exc}") from None
+    frame = header + _WIRE_CRC.pack(zlib.crc32(tail)) + tail
+    if len(frame) > MAX_WIRE_BYTES:
+        raise WireFormatError(
+            f"encoded message is {len(frame)} bytes; limit {MAX_WIRE_BYTES}"
+        )
+    return frame
+
+
+def _unpack(data: bytes) -> tuple[int, int, int, int, int, Any]:
+    if len(data) > MAX_WIRE_BYTES:
+        raise WireFormatError(
+            f"frame is {len(data)} bytes; limit {MAX_WIRE_BYTES}"
+        )
+    base = _WIRE_HEADER.size
+    if len(data) < base + _WIRE_CRC.size:
+        raise WireFormatError(f"truncated header ({len(data)} bytes)")
+    kind, version, flags, client_id, req_id, data_bytes, tail_len = (
+        _WIRE_HEADER.unpack_from(data)
+    )
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unknown wire version {version}")
+    if kind not in (_KIND_REQUEST, _KIND_RESPONSE):
+        raise WireFormatError(f"unknown message kind {kind}")
+    (crc,) = _WIRE_CRC.unpack_from(data, base)
+    tail = data[base + _WIRE_CRC.size:]
+    if len(tail) != tail_len:
+        raise WireFormatError(
+            f"tail length mismatch: header says {tail_len}, got {len(tail)}"
+        )
+    if zlib.crc32(tail) != crc:
+        raise WireFormatError("tail CRC mismatch (corrupt frame)")
+    try:
+        tail_obj = json.loads(tail.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"undecodable tail: {exc}") from None
+    return kind, flags, client_id, req_id, data_bytes, tail_obj
+
+
+def encode_request(request: RpcRequest) -> bytes:
+    """Encode one :class:`RpcRequest` to its deterministic wire form."""
+    return _pack(
+        _KIND_REQUEST, 0, request.client_id, request.req_id,
+        request.data_bytes,
+        {"rpc_type": request.rpc_type, "payload": request.payload,
+         "created_ns": request.created_ns},
+    )
+
+
+def decode_request(data: bytes) -> RpcRequest:
+    """Decode a request frame; raises :exc:`WireFormatError` if invalid."""
+    kind, _flags, client_id, req_id, data_bytes, tail = _unpack(data)
+    if kind != _KIND_REQUEST:
+        raise WireFormatError(f"expected a request frame, got kind {kind}")
+    try:
+        return RpcRequest(
+            client_id=client_id,
+            rpc_type=tail["rpc_type"],
+            payload=tail["payload"],
+            data_bytes=data_bytes,
+            req_id=req_id,
+            created_ns=tail["created_ns"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise WireFormatError(f"malformed request tail: {exc}") from None
+
+
+def encode_response(response: RpcResponse) -> bytes:
+    """Encode one :class:`RpcResponse` to its deterministic wire form."""
+    flags = (_FLAG_FAILED if response.failed else 0) | (
+        _FLAG_CONTEXT_SWITCH if response.context_switch else 0
+    )
+    binding = response.binding
+    tail: dict[str, Any] = {"payload": response.payload}
+    if binding is not None:
+        tail["binding"] = [binding.pool_base, binding.slot_base,
+                           binding.slot_bytes, binding.epoch, binding.seq]
+    return _pack(_KIND_RESPONSE, flags, response.client_id,
+                 response.req_id, response.data_bytes, tail)
+
+
+def decode_response(data: bytes) -> RpcResponse:
+    """Decode a response frame; raises :exc:`WireFormatError` if invalid."""
+    kind, flags, client_id, req_id, data_bytes, tail = _unpack(data)
+    if kind != _KIND_RESPONSE:
+        raise WireFormatError(f"expected a response frame, got kind {kind}")
+    try:
+        binding = None
+        if "binding" in tail:
+            binding = PoolBinding(*tail["binding"])
+        return RpcResponse(
+            req_id=req_id,
+            client_id=client_id,
+            payload=tail["payload"],
+            data_bytes=data_bytes,
+            failed=bool(flags & _FLAG_FAILED),
+            context_switch=bool(flags & _FLAG_CONTEXT_SWITCH),
+            binding=binding,
+        )
+    except (KeyError, TypeError) as exc:
+        raise WireFormatError(f"malformed response tail: {exc}") from None
+
+
+def decode_message(data: bytes):
+    """Decode either kind of frame (dispatch on the kind byte)."""
+    if not data:
+        raise WireFormatError("empty frame")
+    kind = data[0]
+    if kind == _KIND_REQUEST:
+        return decode_request(data)
+    if kind == _KIND_RESPONSE:
+        return decode_response(data)
+    raise WireFormatError(f"unknown message kind {kind}")
 
 
 @dataclass(frozen=True)

@@ -35,13 +35,25 @@ class DfsClient:
     def __init__(self, rpc: RpcClientApi, data_path=None):
         self.rpc = rpc
         self.data_path = data_path
+        # Lifecycle spans (repro.obs): one track per DFS client, one span
+        # per metadata operation — the same pattern ScaleTX transactions
+        # emit.  Zero-cost while no observer is installed on the fabric.
+        self._track = f"dfs.c{rpc.client_id}"
+
+    @property
+    def _obs(self):
+        return self.rpc.machine.fabric.obs
 
     # -- single-shot operations (yield from) --------------------------------
 
     def _call(self, op: str, path: str) -> Generator:
+        obs = self._obs
+        start = self.rpc.machine.sim.now
         response = yield from self.rpc.sync_call(
             op, payload=path, data_bytes=MetadataService.request_bytes(path)
         )
+        if obs is not None:
+            obs.span(self._track, op, start, self.rpc.machine.sim.now)
         result = response.payload
         if isinstance(result, FsError):
             raise result
@@ -106,6 +118,8 @@ class DfsClient:
 
     def post_batch(self, op: str, paths: list[str]) -> Generator:
         """Asynchronously post one op per path; returns the handles."""
+        obs = self._obs
+        start = self.rpc.machine.sim.now
         handles: list[CallHandle] = []
         for path in paths:
             handle = yield from self.rpc.async_call(
@@ -113,9 +127,17 @@ class DfsClient:
             )
             handles.append(handle)
         yield from self.rpc.flush()
+        if obs is not None:
+            obs.span(self._track, f"{op}.post", start, self.rpc.machine.sim.now,
+                     {"batch": len(handles)})
         return handles
 
     def wait_batch(self, handles: list[CallHandle]) -> Generator:
         """Wait for a posted batch; returns the result payloads."""
+        obs = self._obs
+        start = self.rpc.machine.sim.now
         responses = yield from self.rpc.poll_completions(handles)
+        if obs is not None and handles:
+            obs.span(self._track, f"{handles[0].request.rpc_type}.wait",
+                     start, self.rpc.machine.sim.now, {"batch": len(handles)})
         return [r.payload for r in responses]

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import Observer
 from ..sim import NS_PER_S
 from ..transport import Topology, dfs_systems, get as get_transport
 from .client import DfsClient
@@ -42,6 +43,10 @@ class MdtestConfig:
     settle_ns: int = 300_000
     group_size: int = 40
     time_slice_ns: int = 100_000
+    #: Record repro.obs lifecycle spans (one ``dfs.cN`` track per client,
+    #: one span per metadata op) plus the RPC stage timelines underneath —
+    #: the same telemetry ScaleTX transactions emit.
+    obs_enabled: bool = False
 
     def __post_init__(self):
         if self.rpc_system not in DFS_RPC_SYSTEMS:
@@ -61,6 +66,8 @@ class MdtestResult:
     stat_mops: float = 0.0
     readdir_mops: float = 0.0
     rmnod_mops: float = 0.0
+    #: The repro.obs run artifact when ``obs_enabled`` (else ``None``).
+    obs: Optional[dict] = None
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -79,6 +86,14 @@ def run_mdtest(config: MdtestConfig, seed: int = 1) -> MdtestResult:
         seed=seed,
     )
     sim = topo.sim
+    observer = None
+    if config.obs_enabled:
+        observer = Observer(meta={
+            "experiment": "mdtest",
+            "rpc_system": config.rpc_system,
+            "n_clients": config.n_clients,
+            "seed": seed,
+        }).install(topo.fabric)
     mds_node = topo.server_node
     mds = MetadataService(mds_node)
     server = get_transport(config.rpc_system).build_server(
@@ -172,4 +187,7 @@ def run_mdtest(config: MdtestConfig, seed: int = 1) -> MdtestResult:
     result.readdir_mops = measure(OP_READDIR)
     result.rmnod_mops = measure(OP_RMNOD)
     phase["op"] = None
+    if observer is not None:
+        result.obs = observer.finish()
+        observer.uninstall()
     return result

@@ -1,0 +1,31 @@
+"""The real-process backend's clock: run-relative monotonic nanoseconds.
+
+The simulation's only clock is ``sim.now`` (integer ns from time zero).
+The real-process backend mirrors that shape — every timestamp it emits is
+an integer nanosecond offset from the moment its :class:`Clock` was
+created — so :mod:`repro.obs` artifacts from both backends read the same
+way (spans start near 0, durations are ns).
+
+This is the one place in ``src/repro`` that legitimately reads wall-clock
+time: the proc backend *is* reality, not a simulation of it.  The detlint
+wall-clock rule is suppressed here, and only here, for that reason.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """Integer-ns monotonic time, zeroed at construction."""
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic_ns()  # detlint: ignore[wall-clock] — proc backend is real time
+
+    def now(self) -> int:
+        """Nanoseconds since this clock was created."""
+        return time.monotonic_ns() - self._t0  # detlint: ignore[wall-clock] — proc backend is real time

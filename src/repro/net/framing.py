@@ -1,0 +1,80 @@
+"""Length-prefixed stream framing for the real-process backend.
+
+TCP is a byte stream; messages need boundaries.  Every frame is a 4-byte
+big-endian length prefix followed by that many body bytes (the body being
+one encoded message from :mod:`repro.core.message`).  The
+:class:`FrameDecoder` is incremental — feed it whatever chunks the socket
+yields and it returns complete frames — and bounded: a corrupted or
+hostile length prefix is rejected before any oversized allocation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..core.message import MAX_WIRE_BYTES
+
+__all__ = [
+    "FramingError",
+    "LENGTH_PREFIX_BYTES",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "FrameDecoder",
+]
+
+_LENGTH = struct.Struct("!I")
+LENGTH_PREFIX_BYTES = _LENGTH.size
+#: A frame body is one encoded message, so the message bound applies.
+MAX_FRAME_BYTES = MAX_WIRE_BYTES
+
+
+class FramingError(ValueError):
+    """The byte stream violated the framing protocol."""
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Prefix ``body`` with its length."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame body is {len(body)} bytes; limit {MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame extraction from an arbitrary chunking of the
+    stream (``feed`` may receive one byte or one megabyte at a time)."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[bytes]:
+        if len(self._buffer) < LENGTH_PREFIX_BYTES:
+            return None
+        (length,) = _LENGTH.unpack_from(self._buffer)
+        if length > MAX_FRAME_BYTES:
+            raise FramingError(
+                f"frame length {length} exceeds limit {MAX_FRAME_BYTES}"
+            )
+        end = LENGTH_PREFIX_BYTES + length
+        if len(self._buffer) < end:
+            return None
+        frame = bytes(self._buffer[LENGTH_PREFIX_BYTES:end])
+        del self._buffer[:end]
+        return frame
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

@@ -1,0 +1,316 @@
+"""The real-process RPC service and client (asyncio driver of the API).
+
+This is the second backend behind the registry's ``backend`` dimension:
+the same call surface as the sim driver — ``async_call`` / ``flush`` /
+``poll_completions`` / ``sync_call`` returning the same
+:class:`~repro.core.interface.CallHandle` — but every method is an
+asyncio coroutine, requests and responses are real bytes in the
+deterministic wire format of :mod:`repro.core.message`, and the "fabric"
+is a TCP stream per client (:mod:`repro.net.transport`).
+
+Observability reuses :mod:`repro.obs` unchanged: the client emits the
+``post`` / ``complete`` lifecycle stages and the server emits
+``dispatch`` / ``exec`` / ``done`` plus per-RPC server spans, exactly the
+stage names the sim path emits, so the critical-path tooling reads both
+backends' artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..core.interface import CallHandle, RpcCallerInterface, RpcServiceInterface
+from ..core.message import (
+    RpcRequest,
+    RpcResponse,
+    WireFormatError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from ..obs import Observer
+from ..transport.topology import Endpoint
+from .clock import Clock
+from .transport import (
+    ServerConnection,
+    StreamClientTransport,
+    StreamServerTransport,
+    TransportClosed,
+)
+
+__all__ = ["ProcServerStats", "ProcRpcServer", "ProcRpcClient"]
+
+
+@dataclass
+class ProcServerStats:
+    """Server-side accounting (mirrors the sim servers' stats objects)."""
+
+    completed: int = 0
+    failed: int = 0
+    decode_errors: int = 0
+
+
+class ProcRpcServer(RpcServiceInterface):
+    """One RPC service as a real asyncio server.
+
+    Constructed by the registry with the same shape as the sim servers —
+    ``(where, handler, config=..., handler_cost_fn=..., response_bytes=...)``
+    — except ``where`` is an :class:`Endpoint`, not a simulated node.
+    ``config`` and ``handler_cost_fn`` are accepted for signature
+    compatibility: the asyncio backend has no modeled costs (the handler's
+    real execution time is the cost), and transport-specific sim knobs do
+    not apply on a TCP stream.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        handler: Callable[[RpcRequest], Any],
+        *,
+        config: Any = None,
+        handler_cost_fn: Optional[Callable] = None,
+        response_bytes: Any = 32,
+        transport: str = "scalerpc",
+        obs: Optional[Observer] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.endpoint = endpoint
+        self.handler = handler
+        self.config = config
+        self.handler_cost_fn = handler_cost_fn  # unused: real time is the cost
+        self.response_bytes = response_bytes
+        self.transport_name = transport
+        self.obs = obs
+        self.clock = clock or Clock()
+        self.stats = ProcServerStats()
+        self._listener = StreamServerTransport(endpoint, self._on_frame)
+        self._next_client_id = 1
+        self._local_clients: list["ProcRpcClient"] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Endpoint:
+        """Open the listener; returns the bound endpoint."""
+        self.endpoint = await self._listener.start()
+        return self.endpoint
+
+    async def stop(self) -> None:
+        """Close every in-process client, then the listener."""
+        for client in self._local_clients:
+            await client.close()
+        self._local_clients.clear()
+        await self._listener.stop()
+
+    def connect(self, machine: Any = None) -> "ProcRpcClient":
+        """An in-process client of this service (remote clients just dial
+        the endpoint themselves — see :class:`ProcRpcClient`)."""
+        client = ProcRpcClient(
+            self.endpoint,
+            client_id=self._next_client_id,
+            obs=self.obs,
+            clock=self.clock,
+        )
+        self._next_client_id += 1
+        self._local_clients.append(client)
+        return client
+
+    # -- request path ------------------------------------------------------
+
+    def _response_bytes(self, request: RpcRequest, payload: Any) -> int:
+        if callable(self.response_bytes):
+            return self.response_bytes(request, payload)
+        return self.response_bytes
+
+    async def _on_frame(self, connection: ServerConnection, body: bytes) -> None:
+        obs = self.obs
+        try:
+            request = decode_request(body)
+        except WireFormatError:
+            self.stats.decode_errors += 1
+            return  # reject the frame; the stream itself is still framed
+        key = (request.client_id, request.req_id)
+        dispatched = self.clock.now()
+        if obs is not None:
+            obs.rpc_stage(key, "dispatch", dispatched)
+            obs.rpc_stage(key, "exec", dispatched)
+        try:
+            result = self.handler(request)
+            failed = False
+        except Exception as exc:  # the RPC failed, not the server
+            result = f"{type(exc).__name__}: {exc}"
+            failed = True
+            self.stats.failed += 1
+        response = RpcResponse(
+            req_id=request.req_id,
+            client_id=request.client_id,
+            payload=result,
+            data_bytes=self._response_bytes(request, result),
+            failed=failed,
+        )
+        done = self.clock.now()
+        if obs is not None:
+            obs.rpc_stage(key, "done", done)
+            obs.span(
+                f"server.{self.transport_name}", request.rpc_type,
+                dispatched, done, {"client": request.client_id},
+            )
+        connection.send(encode_response(response))
+        await connection.drain()
+        self.stats.completed += 1
+
+    @property
+    def connections(self) -> int:
+        return self._listener.accepted
+
+
+class ProcRpcClient(RpcCallerInterface):
+    """Asyncio driver of the client API.
+
+    The same calling convention as the sim driver, with ``await`` in
+    place of ``yield from``::
+
+        handle = await client.async_call("echo", payload="hi")
+        await client.flush()
+        (response,) = await client.poll_completions([handle])
+
+    One background task owns the receive side: it decodes response
+    frames, resolves the matching handle's future, and — when the server
+    connection breaks with requests still in flight — drives the bounded
+    reconnect-and-repost recovery path (the proc analogue of the sim
+    client's watchdog reconnect).
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        *,
+        client_id: int = 1,
+        obs: Optional[Observer] = None,
+        clock: Optional[Clock] = None,
+        max_attempts: int = 5,
+        backoff_s: float = 0.05,
+    ):
+        self.client_id = client_id
+        self.obs = obs
+        self.clock = clock or Clock()
+        self.transport = StreamClientTransport(
+            endpoint, max_attempts=max_attempts, backoff_s=backoff_s
+        )
+        self.completed = 0
+        self._outstanding: dict[int, CallHandle] = {}
+        self._recv_task: Optional[asyncio.Task] = None
+        self._closing = False
+
+    @property
+    def reconnects(self) -> int:
+        return self.transport.reconnects
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def connect(self) -> None:
+        """Dial the server and start the receive loop."""
+        await self.transport.connect()
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except (asyncio.CancelledError, TransportClosed):
+                pass
+            self._recv_task = None
+        await self.transport.close()
+
+    # -- the RPC API (coroutines) ------------------------------------------
+
+    async def async_call(
+        self, rpc_type: str, payload: Any = None, data_bytes: int = 32
+    ) -> CallHandle:
+        """Post one request without waiting; returns its handle."""
+        now = self.clock.now()
+        request = RpcRequest(
+            client_id=self.client_id,
+            rpc_type=rpc_type,
+            payload=payload,
+            data_bytes=data_bytes,
+            created_ns=now,
+        )
+        handle = CallHandle(
+            request,
+            event=asyncio.get_running_loop().create_future(),
+            posted_ns=now,
+        )
+        self._outstanding[request.req_id] = handle
+        if self.obs is not None:
+            self.obs.rpc_stage(request.req_id, "post", now)
+        self.transport.send(encode_request(request))
+        return handle
+
+    async def flush(self) -> None:
+        """Push everything posted out to the kernel."""
+        await self.transport.drain()
+
+    async def poll_completions(self, handles: list[CallHandle]) -> list[RpcResponse]:
+        """Wait for all ``handles``; returns the responses in order."""
+        return list(await asyncio.gather(*(h.event for h in handles)))
+
+    async def sync_call(
+        self, rpc_type: str, payload: Any = None, data_bytes: int = 32
+    ) -> RpcResponse:
+        """Post one request and wait for its response."""
+        handle = await self.async_call(rpc_type, payload, data_bytes)
+        await self.flush()
+        responses = await self.poll_completions([handle])
+        return responses[0]
+
+    # -- receive / recovery ------------------------------------------------
+
+    async def _recv_loop(self) -> None:
+        while True:
+            body = await self.transport.recv()
+            if body is None:
+                if self._closing:
+                    return
+                if not await self._recover():
+                    return
+                continue
+            try:
+                response = decode_response(body)
+            except WireFormatError:
+                continue  # drop the frame; matching request will repost on reconnect
+            handle = self._outstanding.pop(response.req_id, None)
+            if handle is None:
+                continue
+            handle.response = response
+            handle.completed_ns = self.clock.now()
+            if not handle.event.done():
+                handle.event.set_result(response)
+            self.completed += 1
+            if self.obs is not None:
+                self.obs.rpc_stage(response.req_id, "complete", handle.completed_ns)
+
+    async def _recover(self) -> bool:
+        """The connection broke: reconnect (bounded) and repost what was
+        in flight.  Returns False when recovery is exhausted — every
+        outstanding handle is failed with :exc:`TransportClosed`."""
+        try:
+            await self.transport.reconnect()
+        except TransportClosed as exc:
+            for handle in self._outstanding.values():
+                if not handle.event.done():
+                    handle.event.set_exception(exc)
+            self._outstanding.clear()
+            return False
+        for handle in self._outstanding.values():
+            self.transport.send(encode_request(handle.request))
+        await self.transport.drain()
+        return True

@@ -1,0 +1,210 @@
+"""Asyncio stream transports: connect, accept, reconnect.
+
+The connection/control plane of the real-process backend, kept separate
+from RPC semantics (Swift's argument in PAPERS.md: setup and teardown
+deserve first-class treatment, not hidden constructor side effects).
+
+- :class:`StreamClientTransport` — one outgoing connection with explicit
+  :meth:`connect`, bounded-retry :meth:`reconnect` (exponential backoff),
+  and frame-level :meth:`send` / :meth:`recv`.
+- :class:`StreamServerTransport` — a listener with an accept loop; every
+  inbound frame is handed to an async callback together with the
+  :class:`ServerConnection` it arrived on (which is how responses go
+  back).
+
+Both ends speak :mod:`repro.net.framing`; what the frames *mean* is the
+next layer up (:mod:`repro.net.procserver`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Optional
+
+from ..transport.topology import Endpoint
+from .framing import LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES, FramingError, encode_frame
+
+__all__ = [
+    "TransportClosed",
+    "StreamClientTransport",
+    "ServerConnection",
+    "StreamServerTransport",
+]
+
+
+class TransportClosed(ConnectionError):
+    """The peer went away and (for clients) reconnection was exhausted."""
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one length-prefixed frame; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(LENGTH_PREFIX_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    length = int.from_bytes(prefix, "big")
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"frame length {length} exceeds limit {MAX_FRAME_BYTES}")
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+
+
+class StreamClientTransport:
+    """One framed client connection with bounded reconnect."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        *,
+        max_attempts: int = 5,
+        backoff_s: float = 0.05,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.endpoint = endpoint
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.connects = 0
+        self.reconnects = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self) -> None:
+        """Establish the connection, retrying with exponential backoff."""
+        last: Optional[Exception] = None
+        for attempt in range(self.max_attempts):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.endpoint.host, self.endpoint.port
+                )
+                self.connects += 1
+                return
+            except OSError as exc:
+                last = exc
+                await asyncio.sleep(self.backoff_s * (2 ** attempt))
+        raise TransportClosed(
+            f"could not connect to {self.endpoint} after "
+            f"{self.max_attempts} attempts: {last}"
+        )
+
+    async def reconnect(self) -> None:
+        """Drop the current connection (if any) and establish a new one."""
+        await self.close()
+        await self.connect()
+        self.reconnects += 1
+
+    def send(self, body: bytes) -> None:
+        """Queue one frame on the socket (pair with :meth:`drain`)."""
+        if self._writer is None:
+            raise TransportClosed(f"not connected to {self.endpoint}")
+        self._writer.write(encode_frame(body))
+
+    async def drain(self) -> None:
+        """Flush queued frames to the kernel."""
+        if self._writer is None:
+            raise TransportClosed(f"not connected to {self.endpoint}")
+        await self._writer.drain()
+
+    async def recv(self) -> Optional[bytes]:
+        """Next frame from the peer; ``None`` when the peer closed."""
+        if self._reader is None:
+            raise TransportClosed(f"not connected to {self.endpoint}")
+        return await _read_frame(self._reader)
+
+    async def close(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class ServerConnection:
+    """One accepted connection, as seen by the frame callback."""
+
+    _ids = 0
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        ServerConnection._ids += 1
+        self.conn_id = ServerConnection._ids
+        self._reader = reader
+        self._writer = writer
+
+    @property
+    def peer(self) -> str:
+        info = self._writer.get_extra_info("peername")
+        return f"{info[0]}:{info[1]}" if info else "?"
+
+    def send(self, body: bytes) -> None:
+        self._writer.write(encode_frame(body))
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+#: Async callback invoked per inbound frame: (connection, frame body).
+FrameHandler = Callable[[ServerConnection, bytes], Awaitable[None]]
+
+
+class StreamServerTransport:
+    """A framed listener: accept loop plus per-connection read loops."""
+
+    def __init__(self, endpoint: Endpoint, on_frame: FrameHandler):
+        self.endpoint = endpoint
+        self.on_frame = on_frame
+        self.accepted = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Keyed by conn_id: dicts keep insertion order, so shutdown walks
+        # connections oldest-first instead of in set hash order.
+        self._connections: dict[int, ServerConnection] = {}
+
+    async def start(self) -> Endpoint:
+        """Open the listener; returns the *bound* endpoint (resolving an
+        ephemeral port 0 to the OS-assigned one)."""
+        self._server = await asyncio.start_server(
+            self._serve, self.endpoint.host, self.endpoint.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.endpoint = Endpoint(host, port)
+        return self.endpoint
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        connection = ServerConnection(reader, writer)
+        self.accepted += 1
+        self._connections[connection.conn_id] = connection
+        try:
+            while True:
+                body = await _read_frame(reader)
+                if body is None:
+                    break
+                await self.on_frame(connection, body)
+        except (ConnectionError, FramingError):
+            pass  # a broken peer must not take the accept loop down
+        finally:
+            self._connections.pop(connection.conn_id, None)
+            await connection.close()
+
+    async def stop(self) -> None:
+        """Close the listener and every live connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections.values()):
+            await connection.close()
+        self._connections.clear()

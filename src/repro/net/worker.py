@@ -1,0 +1,140 @@
+"""Worker entry point: one server or client role as a real OS process.
+
+The process runner (:mod:`repro.net.runner`) launches these::
+
+    python -m repro.net.worker server --transport scalerpc --port 0
+    python -m repro.net.worker client --host 127.0.0.1 --port N \
+        --client-id 1 --ops 50 --batch 4
+
+Protocol with the parent, line-oriented JSON on stdout:
+
+- the server prints ``{"ready": {"host": ..., "port": ...}}`` once its
+  listener is bound (resolving an ephemeral port), then serves until the
+  parent writes a line to its stdin (or closes it), then prints
+  ``{"result": {...}}`` and exits;
+- a client runs its closed-loop batched workload to completion, prints
+  ``{"result": {...}}``, and exits.
+
+Both roles carry a :class:`repro.obs.Observer` and include the finished
+artifact in their result, so the parent can export the same JSONL /
+Perfetto traces the sim backend produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..obs import Observer
+from ..transport import Endpoint, get
+from .procserver import ProcRpcClient
+
+__all__ = ["main"]
+
+
+def _echo_handler(request):
+    """The benchmark workload's handler: the payload comes straight back."""
+    return request.payload
+
+
+async def _serve(args) -> dict:
+    obs = Observer(meta={
+        "backend": "proc", "role": "server", "transport": args.transport,
+    })
+    server = get(args.transport).build_server(
+        Endpoint(args.host, args.port), _echo_handler, backend="proc",
+    )
+    server.obs = obs
+    endpoint = await server.start()
+    print(json.dumps(
+        {"ready": {"host": endpoint.host, "port": endpoint.port}}
+    ), flush=True)
+    # Serve until the parent says stop (a line on stdin, or stdin closing
+    # when the parent dies — either way the server winds down cleanly).
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, sys.stdin.readline)
+    await server.stop()
+    return {
+        "role": "server",
+        "transport": args.transport,
+        "completed": server.stats.completed,
+        "failed": server.stats.failed,
+        "decode_errors": server.stats.decode_errors,
+        "connections": server.connections,
+        "obs": obs.finish(),
+    }
+
+
+async def _run_client(args) -> dict:
+    obs = Observer(meta={
+        "backend": "proc", "role": "client", "client_id": args.client_id,
+    })
+    client = ProcRpcClient(
+        Endpoint(args.host, args.port), client_id=args.client_id, obs=obs,
+    )
+    await client.connect()
+    clock = client.clock
+    latencies: list[int] = []
+    started = clock.now()
+    remaining = args.ops
+    while remaining > 0:
+        batch = min(args.batch, remaining)
+        batch_start = clock.now()
+        handles = []
+        for _ in range(batch):
+            handles.append(await client.async_call(
+                "echo", payload=f"c{args.client_id}", data_bytes=args.data_bytes
+            ))
+        await client.flush()
+        await client.poll_completions(handles)
+        latencies.append(clock.now() - batch_start)
+        remaining -= batch
+    wall_ns = clock.now() - started
+    await client.close()
+    latencies.sort()
+    return {
+        "role": "client",
+        "client_id": args.client_id,
+        "requested": args.ops,
+        "completed": client.completed,
+        "wall_ns": wall_ns,
+        "reconnects": client.reconnects,
+        "batch_latency_ns": {
+            "median": latencies[len(latencies) // 2] if latencies else 0,
+            "max": latencies[-1] if latencies else 0,
+        },
+        "obs": obs.finish(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.worker",
+        description="One real-process RPC worker (server or client role).",
+    )
+    sub = parser.add_subparsers(dest="role", required=True)
+    server = sub.add_parser("server", help="serve RPCs until stdin closes")
+    server.add_argument("--transport", default="scalerpc")
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument("--port", type=int, default=0)
+    client = sub.add_parser("client", help="run the closed-loop workload")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--client-id", type=int, default=1)
+    client.add_argument("--ops", type=int, default=50)
+    client.add_argument("--batch", type=int, default=4)
+    client.add_argument("--data-bytes", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    if args.role == "server":
+        result = asyncio.run(_serve(args))
+    else:
+        result = asyncio.run(_run_client(args))
+    print(json.dumps({"result": result}), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,11 @@ benchmark harness, the DFS, the transaction cluster, and the examples::
 """
 
 from .registry import (
+    BACKENDS,
     Capabilities,
     TransportError,
     TransportSpec,
+    backend_names,
     bench_systems,
     dfs_systems,
     get,
@@ -25,14 +27,17 @@ from .registry import (
     register_spec,
     specs,
 )
-from .topology import Topology, TopologyConfig
+from .topology import Endpoint, Topology, TopologyConfig
 
 __all__ = [
+    "BACKENDS",
     "Capabilities",
+    "Endpoint",
     "Topology",
     "TopologyConfig",
     "TransportError",
     "TransportSpec",
+    "backend_names",
     "bench_systems",
     "dfs_systems",
     "get",

@@ -32,9 +32,11 @@ from importlib import import_module
 from typing import Any, Callable, Optional
 
 __all__ = [
+    "BACKENDS",
     "Capabilities",
     "TransportSpec",
     "TransportError",
+    "backend_names",
     "register",
     "register_spec",
     "get",
@@ -46,7 +48,24 @@ __all__ = [
 
 
 class TransportError(KeyError):
-    """Raised for lookups of unknown transport names."""
+    """Raised for lookups of unknown transport or backend names."""
+
+
+#: The execution backends every transport can be built on.  ``"sim"`` is
+#: the simulated RDMA fabric (the default, and the only deterministic
+#: one); ``"proc"`` runs the same call surface as real OS processes over
+#: asyncio stream sockets (:mod:`repro.net`).
+BACKENDS = ("sim", "proc")
+
+#: The shared real-process service implementation (resolved lazily so the
+#: registry does not import asyncio machinery into sim-only runs).  Specs
+#: may override per transport via ``proc_server``.
+_DEFAULT_PROC_SERVER = "repro.net.procserver:ProcRpcServer"
+
+
+def backend_names() -> tuple[str, ...]:
+    """All known execution backends."""
+    return BACKENDS
 
 
 @dataclass(frozen=True)
@@ -87,6 +106,9 @@ class TransportSpec:
     #: Config fields this transport pins (e.g. static scheduling).
     config_overrides: dict[str, Any] = field(default_factory=dict)
     description: str = ""
+    #: Server class for the real-process backend (``backend="proc"``);
+    #: defaults to the shared asyncio service, overridable per transport.
+    proc_server: Any = _DEFAULT_PROC_SERVER
 
     def _resolve(self, ref: Any) -> type:
         if isinstance(ref, str):
@@ -122,11 +144,23 @@ class TransportSpec:
         kwargs.update(self.config_overrides)
         return cls(**kwargs)
 
+    def server_cls_for(self, backend: str) -> type:
+        """The server class implementing this transport on ``backend``."""
+        if backend == "sim":
+            return self.server_cls
+        if backend == "proc":
+            return self._resolve(self.proc_server)
+        raise TransportError(
+            f"unknown backend {backend!r} for transport {self.name!r}; "
+            f"available backends: {', '.join(BACKENDS)}"
+        )
+
     def build_server(
         self,
         node,
         handler: Callable,
         *,
+        backend: str = "sim",
         config=None,
         handler_cost_fn: Optional[Callable] = None,
         response_bytes: Any = 32,
@@ -135,13 +169,28 @@ class TransportSpec:
         """Instantiate the server on ``node``.
 
         Either pass a ready ``config`` (of :attr:`config_cls`) or generic
-        knobs that :meth:`make_config` maps onto it.
+        knobs that :meth:`make_config` maps onto it.  ``backend`` selects
+        the execution model: ``"sim"`` (default) takes a simulated
+        :class:`~repro.rdma.node.Node` and returns the registered sim
+        server, byte-identical to builds that never mention backends;
+        ``"proc"`` takes a :class:`~repro.transport.topology.Endpoint`
+        (host/port) and returns the asyncio service of :mod:`repro.net`.
         """
+        server_cls = self.server_cls_for(backend)  # validates the name
         if config is None:
             config = self.make_config(**knobs)
         elif knobs:
             raise TypeError("pass either config= or knobs, not both")
-        return self.server_cls(
+        if backend == "proc":
+            return server_cls(
+                node,
+                handler,
+                config=config,
+                handler_cost_fn=handler_cost_fn,
+                response_bytes=response_bytes,
+                transport=self.name,
+            )
+        return server_cls(
             node,
             handler,
             config=config,

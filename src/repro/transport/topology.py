@@ -7,6 +7,14 @@ rack of client machines with clients spread round-robin across them.
 :class:`Topology` is that boilerplate, built once, in a fixed order
 (servers before machines) so fixed-seed results are stable across
 consumers.
+
+The topology also owns the **backend** dimension (DESIGN.md section 11):
+``backend="sim"`` (the default) builds the simulated world above;
+``backend="proc"`` builds no simulator at all — instead each server name
+gets an :class:`Endpoint` (host/port) and servers/clients run as real
+asyncio processes via :mod:`repro.net`.  Endpoint addressing lives here,
+not in ad-hoc constructor arguments, so consumers ask the topology where
+a service listens the same way they ask it for a server node.
 """
 
 from __future__ import annotations
@@ -18,14 +26,33 @@ from ..rdma.fabric import Fabric, WireParams
 from ..rdma.node import Node
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
-from .registry import TransportSpec, get
+from .registry import BACKENDS, TransportSpec, TransportError, get
 
-__all__ = ["Topology", "TopologyConfig"]
+__all__ = ["Endpoint", "Topology", "TopologyConfig"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """Where a real-process service listens: a host/port pair.
+
+    ``port=0`` means "ephemeral": the server binds an OS-assigned port and
+    reports the bound address from :meth:`ProcRpcServer.start`.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
 
 
 @dataclass
 class TopologyConfig:
-    """Shape of one simulated deployment."""
+    """Shape of one deployment (simulated or real-process)."""
 
     #: Names of the server nodes, in creation order ("server" for the
     #: single-server benchmarks, "p0".."pN" for the transaction cluster).
@@ -34,24 +61,42 @@ class TopologyConfig:
     machine_cores: int = 24
     seed: int = 1
     wire: Optional[WireParams] = None
+    #: Execution backend: ``"sim"`` builds the simulated world,
+    #: ``"proc"`` builds endpoint addressing for real asyncio processes.
+    backend: str = "sim"
+    #: Real-process addressing (``backend="proc"`` only): every server
+    #: name is assigned ``host`` and a port starting at ``base_port``
+    #: (``0`` keeps every port ephemeral — the normal, collision-free
+    #: choice on localhost).
+    host: str = "127.0.0.1"
+    base_port: int = 0
 
     def __post_init__(self):
         if not self.server_names:
             raise ValueError("need at least one server node")
         if self.n_client_machines < 1:
             raise ValueError("n_client_machines must be >= 1")
+        if self.backend not in BACKENDS:
+            raise TransportError(
+                f"unknown backend {self.backend!r}; "
+                f"available backends: {', '.join(BACKENDS)}"
+            )
+        if not (0 <= self.base_port <= 65535):
+            raise ValueError("base_port must be a valid TCP port (or 0)")
 
 
 @dataclass
 class Topology:
-    """A built world: simulator, fabric, server nodes, client machines."""
+    """A built world: simulator, fabric, server nodes, client machines —
+    or, on the proc backend, the endpoints real processes listen on."""
 
     config: TopologyConfig
-    sim: Simulator
-    rng: RngRegistry
-    fabric: Fabric
+    sim: Optional[Simulator]
+    rng: Optional[RngRegistry]
+    fabric: Optional[Fabric]
     server_nodes: list[Node]
     machines: list[Node]
+    endpoints: dict[str, Endpoint] = field(default_factory=dict)
     _next_machine: int = field(default=0, repr=False)
 
     @classmethod
@@ -61,6 +106,23 @@ class Topology:
             config = TopologyConfig(**kwargs)
         elif kwargs:
             raise TypeError("pass either config= or kwargs, not both")
+        if config.backend == "proc":
+            endpoints = {
+                name: Endpoint(
+                    config.host,
+                    config.base_port + i if config.base_port else 0,
+                )
+                for i, name in enumerate(config.server_names)
+            }
+            return cls(
+                config=config,
+                sim=None,
+                rng=None,
+                fabric=None,
+                server_nodes=[],
+                machines=[],
+                endpoints=endpoints,
+            )
         sim = Simulator()
         rng = RngRegistry(config.seed)
         fabric = Fabric(sim, config.wire)
@@ -79,16 +141,47 @@ class Topology:
         )
 
     @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
     def server_node(self) -> Node:
-        """The sole server node (single-server topologies)."""
+        """The sole server node (single-server sim topologies)."""
+        if self.backend != "sim":
+            raise ValueError(
+                f"the {self.backend!r} backend has endpoints, not sim nodes"
+            )
         if len(self.server_nodes) != 1:
             raise ValueError("topology has multiple server nodes")
         return self.server_nodes[0]
 
+    @property
+    def endpoint(self) -> Endpoint:
+        """The sole endpoint (single-server proc topologies)."""
+        if self.backend != "proc":
+            raise ValueError(
+                f"the {self.backend!r} backend has sim nodes, not endpoints"
+            )
+        if len(self.endpoints) != 1:
+            raise ValueError("topology has multiple endpoints")
+        return next(iter(self.endpoints.values()))
+
     def build_server(self, transport: str | TransportSpec, handler, *,
                      node: Optional[Node] = None, **kwargs):
-        """Build a ``transport`` server on ``node`` (default: the sole one)."""
+        """Build a ``transport`` server on this topology's backend.
+
+        On ``"sim"``, the server lands on ``node`` (default: the sole
+        server node); on ``"proc"``, it binds the sole endpoint (or pass
+        ``node=Endpoint(...)`` / a server name to pick one).
+        """
         spec = get(transport) if isinstance(transport, str) else transport
+        if self.backend == "proc":
+            where = node
+            if isinstance(where, str):
+                where = self.endpoints[where]
+            return spec.build_server(
+                where or self.endpoint, handler, backend="proc", **kwargs
+            )
         return spec.build_server(node or self.server_node, handler, **kwargs)
 
     def next_machine(self) -> Node:
@@ -98,7 +191,10 @@ class Topology:
         return machine
 
     def connect_clients(self, server, n_clients: int) -> list:
-        """Connect ``n_clients`` clients spread round-robin over machines."""
+        """Connect ``n_clients`` clients spread round-robin over machines
+        (sim) or as in-process asyncio clients of ``server`` (proc)."""
+        if self.backend == "proc":
+            return [server.connect() for _ in range(n_clients)]
         return [
             server.connect(self.machines[i % len(self.machines)])
             for i in range(n_clients)

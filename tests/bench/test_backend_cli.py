@@ -1,0 +1,40 @@
+"""The bench CLI's --backend flag and run_figure's backend dispatch."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments import ALL_FIGURES, BACKEND_FIGURES, run_figure
+
+
+class TestBackendCli:
+    def test_unknown_backend_lists_available(self, capsys):
+        assert main(["--figure", "fig8_clients", "--backend", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend: bogus" in err
+        assert "available backends:" in err
+        assert "sim" in err and "proc" in err
+
+    def test_unknown_backend_checked_even_with_all(self, capsys):
+        assert main(["--all", "--backend", "nope"]) == 2
+        assert "available backends:" in capsys.readouterr().err
+
+    def test_unknown_figure_still_reported_first(self, capsys):
+        assert main(["--figure", "fig_bogus"]) == 2
+        assert "available figures:" in capsys.readouterr().err
+
+
+class TestRunFigureBackend:
+    def test_backend_figures_are_registered(self):
+        assert "fig_real" in ALL_FIGURES
+        assert BACKEND_FIGURES <= set(ALL_FIGURES)
+
+    def test_sim_only_figure_rejects_proc(self):
+        with pytest.raises(ValueError, match="only runs on the sim backend"):
+            run_figure("fig8_clients", backend="proc")
+
+    def test_fig_real_needs_a_real_backend(self):
+        # fig_real IS the sim-vs-real comparison; "sim alone" is not one.
+        from repro.bench.experiments import fig_real
+
+        with pytest.raises(ValueError, match="compares sim against"):
+            fig_real(backend="sim")

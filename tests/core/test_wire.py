@@ -1,0 +1,163 @@
+"""The deterministic wire format (repro.core.message encode/decode).
+
+The real-byte backends (repro.net) depend on three properties tested
+here: round-trips are lossless, encoding is deterministic byte-for-byte,
+and corrupt or oversized frames raise WireFormatError instead of being
+silently misparsed.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.core.message import (
+    MAX_WIRE_BYTES,
+    WIRE_VERSION,
+    PoolBinding,
+    RpcRequest,
+    RpcResponse,
+    WireFormatError,
+    decode_message,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+_HEADER = struct.Struct("!BBHIQII")
+_CRC = struct.Struct("!I")
+_OVERHEAD = _HEADER.size + _CRC.size
+
+
+def _request(**overrides) -> RpcRequest:
+    defaults = dict(client_id=7, rpc_type="echo", payload={"k": [1, 2]},
+                    data_bytes=64, req_id=1234, created_ns=5_000)
+    defaults.update(overrides)
+    return RpcRequest(**defaults)
+
+
+class TestRequestRoundTrip:
+    def test_all_fields_survive(self):
+        request = _request()
+        decoded = decode_request(encode_request(request))
+        assert decoded == request
+
+    def test_empty_payload(self):
+        decoded = decode_request(encode_request(_request(payload=None)))
+        assert decoded.payload is None
+
+    def test_empty_string_payload(self):
+        decoded = decode_request(encode_request(_request(payload="")))
+        assert decoded.payload == ""
+
+    def test_tuple_payload_normalizes_to_list(self):
+        decoded = decode_request(encode_request(_request(payload=(1, "a"))))
+        assert decoded.payload == [1, "a"]
+
+    def test_encoding_is_deterministic(self):
+        # Same message, two dict insertion orders -> identical bytes.
+        a = _request(payload={"x": 1, "y": 2})
+        b = _request(payload={"y": 2, "x": 1})
+        assert encode_request(a) == encode_request(b)
+
+    def test_max_size_payload(self):
+        # The largest payload that still encodes: fill the frame right up
+        # to MAX_WIRE_BYTES.  JSON string quoting adds 2 bytes; the tail
+        # is {"created_ns":5000,"payload":"...","rpc_type":"echo"}.
+        probe = encode_request(_request(payload=""))
+        headroom = MAX_WIRE_BYTES - len(probe)
+        payload = "x" * headroom
+        frame = encode_request(_request(payload=payload))
+        assert len(frame) == MAX_WIRE_BYTES
+        assert decode_request(frame).payload == payload
+
+    def test_oversize_payload_rejected_on_encode(self):
+        with pytest.raises(WireFormatError, match="limit"):
+            encode_request(_request(payload="x" * MAX_WIRE_BYTES))
+
+    def test_non_json_payload_rejected_on_encode(self):
+        with pytest.raises(WireFormatError, match="wire-encodable"):
+            encode_request(_request(payload=object()))
+
+
+class TestResponseRoundTrip:
+    def test_plain_response(self):
+        response = RpcResponse(req_id=9, client_id=3, payload=[1, None, "z"],
+                               data_bytes=48)
+        assert decode_response(encode_response(response)) == response
+
+    def test_flags_survive(self):
+        response = RpcResponse(req_id=9, client_id=3, payload="boom",
+                               failed=True, context_switch=True)
+        decoded = decode_response(encode_response(response))
+        assert decoded.failed and decoded.context_switch
+
+    def test_binding_survives(self):
+        binding = PoolBinding(pool_base=4096, slot_base=8192,
+                              slot_bytes=1024, epoch=3, seq=7)
+        response = RpcResponse(req_id=9, client_id=3, binding=binding)
+        assert decode_response(encode_response(response)).binding == binding
+
+    def test_no_binding_decodes_to_none(self):
+        response = RpcResponse(req_id=9, client_id=3)
+        assert decode_response(encode_response(response)).binding is None
+
+
+class TestCorruptFrames:
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError, match="truncated"):
+            decode_request(encode_request(_request())[: _HEADER.size - 1])
+
+    def test_flipped_tail_byte_fails_crc(self):
+        frame = bytearray(encode_request(_request()))
+        frame[-1] ^= 0xFF
+        with pytest.raises(WireFormatError, match="CRC"):
+            decode_request(bytes(frame))
+
+    def test_truncated_tail_rejected(self):
+        frame = encode_request(_request())
+        with pytest.raises(WireFormatError, match="tail length"):
+            decode_request(frame[:-1])
+
+    def test_unknown_version_rejected(self):
+        frame = bytearray(encode_request(_request()))
+        frame[1] = WIRE_VERSION + 1
+        with pytest.raises(WireFormatError, match="version"):
+            decode_request(bytes(frame))
+
+    def test_unknown_kind_rejected(self):
+        tail = b"{}"
+        frame = (_HEADER.pack(99, WIRE_VERSION, 0, 1, 1, 0, len(tail))
+                 + _CRC.pack(zlib.crc32(tail)) + tail)
+        with pytest.raises(WireFormatError, match="kind"):
+            decode_message(frame)
+
+    def test_request_frame_is_not_a_response(self):
+        with pytest.raises(WireFormatError, match="expected a response"):
+            decode_response(encode_request(_request()))
+
+    def test_oversized_frame_rejected_before_parse(self):
+        with pytest.raises(WireFormatError, match="limit"):
+            decode_request(b"\x01" * (MAX_WIRE_BYTES + 1))
+
+    def test_empty_frame(self):
+        with pytest.raises(WireFormatError, match="empty"):
+            decode_message(b"")
+
+    def test_malformed_tail_shape(self):
+        # Valid CRC, valid JSON, wrong schema (missing rpc_type).
+        tail = json.dumps({"payload": 1}).encode()
+        frame = (_HEADER.pack(1, WIRE_VERSION, 0, 1, 1, 0, len(tail))
+                 + _CRC.pack(zlib.crc32(tail)) + tail)
+        with pytest.raises(WireFormatError, match="malformed request"):
+            decode_request(frame)
+
+
+class TestDecodeMessageDispatch:
+    def test_dispatches_on_kind_byte(self):
+        request = _request()
+        response = RpcResponse(req_id=9, client_id=3)
+        assert decode_message(encode_request(request)) == request
+        assert decode_message(encode_response(response)) == response

@@ -1,0 +1,46 @@
+"""mdtest's repro.obs lifecycle spans (the same telemetry ScaleTX emits)."""
+
+import pytest
+
+from repro.dfs.mdtest import MdtestConfig, run_mdtest
+
+
+@pytest.fixture(scope="module")
+def small():
+    return dict(n_clients=4, n_client_machines=2, files_per_client=4,
+                seeded_per_client=40, measure_ns=150_000, settle_ns=50_000)
+
+
+@pytest.fixture(scope="module")
+def observed(small):
+    return run_mdtest(MdtestConfig(obs_enabled=True, **small))
+
+
+class TestMdtestObs:
+    def test_off_by_default(self, small):
+        assert run_mdtest(MdtestConfig(**small)).obs is None
+
+    def test_every_client_gets_a_dfs_track(self, observed, small):
+        tracks = {s["track"] for s in observed.obs["spans"]
+                  if s["track"].startswith("dfs.")}
+        assert tracks == {f"dfs.c{i + 1}" for i in range(small["n_clients"])}
+
+    def test_spans_cover_each_measured_op(self, observed):
+        names = {s["name"] for s in observed.obs["spans"]
+                 if s["track"].startswith("dfs.")}
+        # One post + one wait phase per batched metadata op, like the
+        # lock/validate/log/commit phases a transaction emits.
+        for op in ("fs.mknod", "fs.stat", "fs.readdir", "fs.rmnod"):
+            assert {f"{op}.post", f"{op}.wait"} <= names
+
+    def test_batch_args_recorded(self, observed):
+        spans = [s for s in observed.obs["spans"]
+                 if s["track"].startswith("dfs.")]
+        assert all(s["args"]["batch"] >= 1 for s in spans)
+
+    def test_rpc_timelines_recorded_underneath(self, observed):
+        assert len(observed.obs["rpcs"]) > 0
+
+    def test_obs_does_not_change_results(self, observed, small):
+        plain = run_mdtest(MdtestConfig(**small))
+        assert plain.as_dict() == observed.as_dict()

@@ -1,0 +1,65 @@
+"""Length-prefixed stream framing (repro.net.framing)."""
+
+import struct
+
+import pytest
+
+from repro.net.framing import (
+    LENGTH_PREFIX_BYTES,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FramingError,
+    encode_frame,
+)
+
+
+class TestEncodeFrame:
+    def test_prefix_is_body_length(self):
+        frame = encode_frame(b"abc")
+        assert frame == struct.pack("!I", 3) + b"abc"
+
+    def test_empty_body(self):
+        assert encode_frame(b"") == struct.pack("!I", 0)
+
+    def test_oversize_body_rejected(self):
+        with pytest.raises(FramingError, match="limit"):
+            encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+class TestFrameDecoder:
+    def test_round_trip_one_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_feed(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"hello")
+        collected = []
+        for index in range(len(frame)):
+            collected.extend(decoder.feed(frame[index:index + 1]))
+        assert collected == [b"hello"]
+
+    def test_many_frames_in_one_feed(self):
+        bodies = [b"a", b"", b"ccc", bytes(range(256))]
+        stream = b"".join(encode_frame(b) for b in bodies)
+        assert FrameDecoder().feed(stream) == bodies
+
+    def test_split_across_feeds(self):
+        frame = encode_frame(b"split me")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:6]) == []
+        assert decoder.pending_bytes == 6
+        assert decoder.feed(frame[6:] + encode_frame(b"next")) == [
+            b"split me", b"next",
+        ]
+
+    def test_hostile_length_rejected_before_allocation(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FramingError, match="exceeds limit"):
+            decoder.feed(struct.pack("!I", MAX_FRAME_BYTES + 1))
+
+    def test_partial_prefix_is_not_a_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"\x00\x00") == []
+        assert decoder.pending_bytes == 2

@@ -1,0 +1,225 @@
+"""The real-process backend: registry dispatch, echo RPCs over asyncio
+loopback sockets, reconnect recovery, and obs reuse.
+
+There is no pytest-asyncio in the toolchain; each test drives its
+scenario with ``asyncio.run`` directly.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.message import RpcResponse, decode_request, encode_response
+from repro.net import (
+    ProcRpcClient,
+    ProcRpcServer,
+    StreamServerTransport,
+    TransportClosed,
+)
+from repro.obs import Observer
+from repro.transport import (
+    BACKENDS,
+    Endpoint,
+    Topology,
+    TransportError,
+    backend_names,
+    get,
+)
+
+LOOPBACK = Endpoint("127.0.0.1", 0)
+
+
+def _echo(request):
+    return request.payload
+
+
+class TestRegistryBackendDimension:
+    def test_backend_names(self):
+        assert backend_names() == BACKENDS == ("sim", "proc")
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(TransportError, match="sim.*proc"):
+            get("scalerpc").server_cls_for("bogus")
+
+    def test_every_transport_builds_a_proc_server(self):
+        from repro.transport import names
+
+        for name in names():
+            server = get(name).build_server(LOOPBACK, _echo, backend="proc")
+            assert isinstance(server, ProcRpcServer)
+            assert server.transport_name == name
+
+    def test_topology_rejects_unknown_backend(self):
+        with pytest.raises(TransportError, match="backend"):
+            Topology.build(backend="bogus")
+
+    def test_proc_topology_has_endpoints_not_sim(self):
+        topo = Topology.build(backend="proc")
+        assert topo.backend == "proc"
+        assert topo.sim is None
+        assert topo.endpoint.host == "127.0.0.1"
+
+    def test_proc_topology_base_port(self):
+        topo = Topology.build(backend="proc", base_port=9000)
+        assert topo.endpoint.port == 9000
+
+
+class TestEchoOverLoopback:
+    def test_sync_call_round_trips(self):
+        async def scenario():
+            server = ProcRpcServer(LOOPBACK, _echo)
+            await server.start()
+            client = server.connect()
+            await client.connect()
+            response = await client.sync_call("echo", payload={"n": [1, 2]})
+            await client.close()
+            await server.stop()
+            return response, server.stats
+
+        response, stats = asyncio.run(scenario())
+        assert response.payload == {"n": [1, 2]}
+        assert not response.failed
+        assert stats.completed == 1 and stats.failed == 0
+
+    def test_batched_calls_complete_in_order(self):
+        async def scenario():
+            server = ProcRpcServer(LOOPBACK, _echo)
+            await server.start()
+            client = server.connect()
+            await client.connect()
+            handles = [
+                await client.async_call("echo", payload=i) for i in range(8)
+            ]
+            await client.flush()
+            responses = await client.poll_completions(handles)
+            await client.close()
+            await server.stop()
+            return responses, client.completed
+
+        responses, completed = asyncio.run(scenario())
+        assert [r.payload for r in responses] == list(range(8))
+        assert completed == 8
+
+    def test_handler_exception_fails_the_rpc_not_the_server(self):
+        def handler(request):
+            if request.payload == "bad":
+                raise ValueError("no")
+            return "ok"
+
+        async def scenario():
+            server = ProcRpcServer(LOOPBACK, handler)
+            await server.start()
+            client = server.connect()
+            await client.connect()
+            bad = await client.sync_call("op", payload="bad")
+            good = await client.sync_call("op", payload="fine")
+            await client.close()
+            await server.stop()
+            return bad, good, server.stats
+
+        bad, good, stats = asyncio.run(scenario())
+        assert bad.failed and "ValueError" in bad.payload
+        assert not good.failed and good.payload == "ok"
+        assert stats.failed == 1 and stats.completed == 2
+
+    def test_registry_built_server_serves(self):
+        async def scenario():
+            server = get("scalerpc").build_server(LOOPBACK, _echo, backend="proc")
+            await server.start()
+            client = server.connect()
+            await client.connect()
+            response = await client.sync_call("echo", payload="via-registry")
+            await client.close()
+            await server.stop()
+            return response
+
+        assert asyncio.run(scenario()).payload == "via-registry"
+
+
+class TestReconnectRecovery:
+    def test_dropped_connection_reposts_in_flight(self):
+        # A flaky server: drops the connection on the first request, then
+        # serves normally.  The client must reconnect and repost.
+        seen = []
+
+        async def flaky(connection, body):
+            request = decode_request(body)
+            seen.append(request.req_id)
+            if len(seen) == 1:
+                await connection.close()
+                return
+            connection.send(encode_response(RpcResponse(
+                req_id=request.req_id, client_id=request.client_id,
+                payload="recovered",
+            )))
+            await connection.drain()
+
+        async def scenario():
+            listener = StreamServerTransport(LOOPBACK, flaky)
+            endpoint = await listener.start()
+            client = ProcRpcClient(endpoint, backoff_s=0.01)
+            await client.connect()
+            response = await client.sync_call("echo", payload="x")
+            reconnects = client.reconnects
+            await client.close()
+            await listener.stop()
+            return response, reconnects
+
+        response, reconnects = asyncio.run(scenario())
+        assert response.payload == "recovered"
+        assert reconnects == 1
+        assert len(seen) == 2 and seen[0] == seen[1]  # same req_id reposted
+
+    def test_exhausted_reconnect_fails_outstanding_calls(self):
+        async def scenario():
+            listener = StreamServerTransport(
+                LOOPBACK, lambda connection, body: None
+            )
+            endpoint = await listener.start()
+            client = ProcRpcClient(endpoint, max_attempts=1, backoff_s=0.01)
+            await client.connect()
+            await listener.stop()  # the server is gone for good
+            try:
+                with pytest.raises(TransportClosed):
+                    await client.sync_call("echo", payload="x")
+            finally:
+                await client.close()
+            return client.outstanding
+
+        assert asyncio.run(scenario()) == 0
+
+
+class TestObsReuse:
+    def test_proc_path_emits_sim_stage_names(self):
+        obs = Observer(meta={"backend": "proc"})
+
+        async def scenario():
+            server = ProcRpcServer(LOOPBACK, _echo, obs=obs)
+            await server.start()
+            client = server.connect()
+            await client.connect()
+            await client.sync_call("echo", payload="traced")
+            await client.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+        artifact = obs.finish()
+        stages = {
+            stage[0] for rpc in artifact["rpcs"] for stage in rpc["stages"]
+        }
+        # The same lifecycle vocabulary the sim backend emits.
+        assert {"post", "dispatch", "exec", "done", "complete"} <= stages
+        tracks = {span["track"] for span in artifact["spans"]}
+        assert "server.scalerpc" in tracks
+
+
+class TestSubprocessSmoke:
+    def test_one_server_two_client_processes(self):
+        from repro.net import ProcWorkload, run_proc_workload
+
+        workload = ProcWorkload(n_clients=2, ops_per_client=6, batch_size=3)
+        result = run_proc_workload(workload)
+        assert result.completed_ops == workload.requested_ops == 12
+        assert result.server["completed"] == 12
+        assert result.obs_spans > 0 and result.obs_rpcs > 0
+        assert result.wall_ns > 0

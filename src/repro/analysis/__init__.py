@@ -6,6 +6,12 @@ Two guardrails keep the reproduction trustworthy as the codebase grows:
   codebase-specific rules (no ad-hoc RNGs, no wall-clock reads, no
   iteration over unordered sets on scheduling paths, ...).  Run it as
   ``python -m repro.analysis.detlint src tests``.
+- :mod:`repro.analysis.flowlint` — a CFG/dataflow lint on top of a
+  shared one-parse-per-file engine: asyncio yield-point races, blocking
+  calls in ``async def``, orphaned tasks, unbounded network awaits, and
+  the cross-backend stage-vocabulary / protocol-table conformance
+  contracts.  ``python -m repro.analysis.flowlint src tests`` runs the
+  detlint rules too (CI's single lint entry point).
 - :mod:`repro.analysis.sanitize` — *SimSanitizer*, an opt-in runtime
   invariant layer (``REPRO_SANITIZE=1``) that instruments the simulation
   kernel and the resource models and reports violations (event-time
@@ -19,6 +25,8 @@ Two guardrails keep the reproduction trustworthy as the codebase grows:
 _EXPORTS = {
     "LintFinding": ("detlint", "Finding"),
     "lint_paths": ("detlint", "lint_paths"),
+    "FLOW_RULES": ("flowlint", "FLOW_RULES"),
+    "flowlint_paths": ("flowlint", "lint_paths"),
     "SanitizerFinding": ("sanitize", "SanitizerFinding"),
     "SanitizerReport": ("sanitize", "SanitizerReport"),
     "SimSanitizer": ("sanitize", "SimSanitizer"),

@@ -38,7 +38,11 @@ Usage::
 
 Suppress a finding on one line with ``# detlint: ignore[rule]`` (several
 rules comma-separated, or a bare ``# detlint: ignore`` for all rules);
-skip a whole file with ``# detlint: skip-file``.
+skip a whole file with ``# detlint: skip-file``.  The ``flowlint:``
+spelling of both pragmas is accepted interchangeably — the suppression
+layer is shared with :mod:`repro.analysis.flowlint`, which runs these
+same rules on its one-parse-per-file engine (``lint_tree`` is the
+shared entry point that skips the re-parse).
 """
 
 from __future__ import annotations
@@ -51,7 +55,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional
 
-__all__ = ["RULES", "Finding", "lint_source", "lint_paths", "main"]
+__all__ = [
+    "RULES",
+    "Finding",
+    "apply_suppressions",
+    "collect_suppressions",
+    "lint_source",
+    "lint_tree",
+    "lint_paths",
+    "main",
+]
 
 RULES = {
     "rng-call": "call into the random module outside sim/rng.py "
@@ -86,8 +99,8 @@ WALL_CLOCK_CALLS = frozenset({
 #: tracking the rng-call / wall-clock rules depend on.
 _IMPORT_DENY = frozenset({"random", "time", "datetime", "os", "uuid", "secrets"})
 
-_IGNORE_RE = re.compile(r"#\s*detlint:\s*ignore(?:\[([a-z\-,\s]*)\])?")
-_SKIP_FILE_RE = re.compile(r"#\s*detlint:\s*skip-file")
+_IGNORE_RE = re.compile(r"#\s*(?:detlint|flowlint):\s*ignore(?:\[([a-z0-9\-,\s]*)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*(?:detlint|flowlint):\s*skip-file")
 
 _TIME_NAME_RE = re.compile(r"(?:^now$|_ns$|_time$|^timestamp|_timestamp)")
 
@@ -110,8 +123,13 @@ class Finding:
 # Suppressions
 # ---------------------------------------------------------------------------
 
-def _collect_suppressions(source: str) -> dict[int, Optional[set[str]]]:
-    """Map line number -> suppressed rules (None = all rules)."""
+def collect_suppressions(source: str) -> dict[int, Optional[set[str]]]:
+    """Map line number -> suppressed rules (None = all rules).
+
+    Shared with :mod:`repro.analysis.flowlint`: one ``ignore[...]``
+    pragma (under either tool's name) suppresses detlint and flowlint
+    rule IDs alike, matched purely by rule name.
+    """
     out: dict[int, Optional[set[str]]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _IGNORE_RE.search(line)
@@ -122,6 +140,27 @@ def _collect_suppressions(source: str) -> dict[int, Optional[set[str]]]:
         else:
             rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
             out[lineno] = rules
+    return out
+
+
+def skips_file(source: str) -> bool:
+    """Does ``source`` carry a ``skip-file`` pragma?"""
+    return _SKIP_FILE_RE.search(source) is not None
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions: dict[int, Optional[set[str]]],
+) -> list[Finding]:
+    """Drop findings whose line carries a matching ``ignore`` pragma."""
+    out = []
+    for finding in findings:
+        rules = suppressions.get(finding.line, "unset")
+        if rules is None:  # bare ignore: all rules
+            continue
+        if isinstance(rules, set) and finding.rule in rules:
+            continue
+        out.append(finding)
     return out
 
 
@@ -422,15 +461,14 @@ class _Linter(ast.NodeVisitor):
 # Drivers
 # ---------------------------------------------------------------------------
 
-def lint_source(source: str, path: str) -> list[Finding]:
-    """Lint one file's source; returns unsuppressed findings."""
-    if _SKIP_FILE_RE.search(source):
-        return []
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 1, (exc.offset or 0) + 1,
-                        "syntax-error", str(exc.msg))]
+def lint_tree(tree: ast.AST, path: str) -> list[Finding]:
+    """Run the determinism rules over an already-parsed module.
+
+    This is the seam :mod:`repro.analysis.flowlint` drives: it parses
+    each file once, builds its CFGs, and hands the same tree here, so
+    the two rule sets never cost two parses.  Findings are *raw* —
+    suppression filtering is the caller's job (:func:`apply_suppressions`).
+    """
     normalized = path.replace("\\", "/")
     parts = frozenset(Path(normalized).parts)
     linter = _Linter(
@@ -439,16 +477,19 @@ def lint_source(source: str, path: str) -> list[Finding]:
         allow_rng=any(normalized.endswith(s) for s in RNG_ALLOWED_SUFFIXES),
     )
     linter.visit(tree)
-    suppressions = _collect_suppressions(source)
-    out = []
-    for finding in linter.findings:
-        rules = suppressions.get(finding.line, "unset")
-        if rules is None:  # bare ignore: all rules
-            continue
-        if isinstance(rules, set) and finding.rule in rules:
-            continue
-        out.append(finding)
-    return out
+    return linter.findings
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Lint one file's source; returns unsuppressed findings."""
+    if skips_file(source):
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, (exc.offset or 0) + 1,
+                        "syntax-error", str(exc.msg))]
+    return apply_suppressions(lint_tree(tree, path), collect_suppressions(source))
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterable[Path]:

@@ -1,0 +1,212 @@
+"""flowlint — the control-flow-aware lint for this repository.
+
+Where :mod:`repro.analysis.detlint` is a flat per-node walk, flowlint
+lowers every function to a small CFG (:mod:`.cfg`) whose ``await`` /
+``yield`` points are interleaving edges, runs a forward dataflow over it,
+and layers five concurrency/conformance passes on top (:mod:`.passes`):
+``yield-race``, ``async-blocking``, ``task-orphan`` +
+``await-no-timeout``, ``stage-name`` + ``stage-parity``, and
+``proto-transition``.
+
+It is also the one-parse driver for detlint: each file is parsed once
+and the same tree is handed to :func:`repro.analysis.detlint.lint_tree`,
+so ``python -m repro.analysis.flowlint src tests`` subsumes the detlint
+invocation (CI runs exactly that).  Suppressions are shared — one
+``# detlint: ignore[rule]`` / ``# flowlint: ignore[rule]`` pragma (the
+spellings are interchangeable) silences rule IDs from either catalog,
+and ``skip-file`` skips both.
+
+Usage::
+
+    python -m repro.analysis.flowlint src tests benchmarks examples
+    python -m repro.analysis.flowlint --json report.json src
+    python -m repro.analysis.flowlint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .. import detlint
+from ..detlint import (
+    Finding,
+    apply_suppressions,
+    collect_suppressions,
+    iter_python_files,
+    skips_file,
+)
+from .passes import FLOW_RULES, ModuleContext, check_stage_parity, make_context, run_passes
+
+__all__ = [
+    "ALL_RULES",
+    "FLOW_RULES",
+    "Finding",
+    "FileResult",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+#: flowlint's full catalog: the five flow passes plus the determinism
+#: rules it runs through detlint's shared ``lint_tree`` seam.
+ALL_RULES = {**detlint.RULES, **FLOW_RULES}
+
+
+@dataclass
+class FileResult:
+    """One file's worth of lint state (parity checking needs the
+    per-file stage vocabularies and suppressions after the per-file
+    findings are already filtered)."""
+
+    path: str
+    findings: list = field(default_factory=list)
+    stage_sites: dict = field(default_factory=dict)
+    suppressions: dict = field(default_factory=dict)
+    context: Optional[ModuleContext] = None
+
+
+def lint_file(
+    source: str,
+    path: str,
+    *,
+    include_generators: bool = False,
+    run_detlint: bool = True,
+) -> FileResult:
+    """Parse once, run the flow passes and (optionally) the determinism
+    rules, and return the suppression-filtered result."""
+    result = FileResult(path=path)
+    if skips_file(source):
+        return result
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(Finding(
+            path, exc.lineno or 1, (exc.offset or 0) + 1,
+            "syntax-error", str(exc.msg),
+        ))
+        return result
+    result.suppressions = collect_suppressions(source)
+    findings: list[Finding] = []
+    if run_detlint:
+        findings.extend(detlint.lint_tree(tree, path))
+    ctx = make_context(tree, path, include_generators=include_generators)
+    run_passes(ctx)
+    findings.extend(ctx.findings)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    result.findings = apply_suppressions(findings, result.suppressions)
+    result.stage_sites = ctx.stage_sites
+    result.context = ctx
+    return result
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    include_generators: bool = False,
+    run_detlint: bool = True,
+) -> list[Finding]:
+    """Lint one file's source; returns unsuppressed findings (the
+    cross-file ``stage-parity`` pass needs :func:`lint_paths`)."""
+    return lint_file(
+        source, path,
+        include_generators=include_generators,
+        run_detlint=run_detlint,
+    ).findings
+
+
+def lint_paths(
+    paths: Iterable[str],
+    *,
+    include_generators: bool = False,
+    run_detlint: bool = True,
+) -> list[Finding]:
+    """Lint every ``*.py`` under ``paths``, including the cross-file
+    stage-parity check over the whole batch."""
+    results: list[FileResult] = []
+    for file_path in iter_python_files(paths):
+        results.append(lint_file(
+            file_path.read_text(encoding="utf-8"), str(file_path),
+            include_generators=include_generators,
+            run_detlint=run_detlint,
+        ))
+    findings = [f for r in results for f in r.findings]
+    by_path = {r.path: r for r in results}
+    parity = check_stage_parity([r.context for r in results if r.context])
+    for finding in parity:
+        owner = by_path.get(finding.path)
+        suppressions = owner.suppressions if owner else {}
+        findings.extend(apply_suppressions([finding], suppressions))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _as_json(findings: list[Finding]) -> str:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return json.dumps(
+        {
+            "tool": "flowlint",
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "counts": dict(sorted(counts.items())),
+            "total": len(findings),
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.flowlint",
+        description="CFG/dataflow lint (plus the detlint determinism "
+                    "rules) for the ScaleRPC reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint (default: src tests)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write a JSON report ('-' for stdout)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the combined rule catalog and exit")
+    parser.add_argument("--include-generators", action="store_true",
+                        help="treat sim-generator yields as interleaving "
+                             "points for yield-race (off by default: the "
+                             "model checker owns sim interleavings)")
+    parser.add_argument("--no-detlint", action="store_true",
+                        help="run only the flow passes (CI runs both "
+                             "catalogs through this one entry point)")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, description in ALL_RULES.items():
+            print(f"{rule:18} {description}")
+        return 0
+    findings = lint_paths(
+        args.paths,
+        include_generators=args.include_generators,
+        run_detlint=not args.no_detlint,
+    )
+    for finding in findings:
+        print(finding.render())
+    if args.json == "-":
+        print(_as_json(findings))
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(_as_json(findings) + "\n")
+    if findings:
+        print(f"flowlint: {len(findings)} finding(s)")
+        return 1
+    return 0

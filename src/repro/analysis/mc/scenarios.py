@@ -244,7 +244,10 @@ def _resurrect_double_activation(world: World) -> None:
             client._cursor = BlockCursor(
                 binding.slot_base, config.block_size, config.blocks_per_client
             )
-            client.state = ClientState.PROCESS
+            # Bypassing client_transition() is the point: this scenario
+            # resurrects the pre-PR-2 lost-update bug for the checker to
+            # (re)catch, so the table is deliberately not consulted.
+            client.state = ClientState.PROCESS  # flowlint: ignore[proto-transition]
             return True
 
         client._bind = buggy_bind

@@ -99,9 +99,12 @@ class ProcRpcServer(RpcServiceInterface):
 
     async def stop(self) -> None:
         """Close every in-process client, then the listener."""
-        for client in self._local_clients:
+        # Swap the list out before the first await: a connect() racing
+        # with stop() must not land a client in a list that a stale
+        # clear() then wipes (flowlint: yield-race).
+        clients, self._local_clients = self._local_clients, []
+        for client in clients:
             await client.close()
-        self._local_clients.clear()
         await self._listener.stop()
 
     def connect(self, machine: Any = None) -> "ProcRpcClient":
@@ -218,6 +221,23 @@ class ProcRpcClient(RpcCallerInterface):
         """Dial the server and start the receive loop."""
         await self.transport.connect()
         self._recv_task = asyncio.ensure_future(self._recv_loop())
+        self._recv_task.add_done_callback(self._on_recv_done)
+
+    def _on_recv_done(self, task: "asyncio.Task") -> None:
+        """The receive loop died: if it was an unexpected crash (e.g. a
+        :class:`FramingError` on a corrupt length prefix), fail every
+        outstanding handle *now* — without this, callers blocked in
+        ``poll_completions`` hang forever on futures nobody will ever
+        resolve, and the crash itself is swallowed until ``close()``."""
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None or isinstance(exc, TransportClosed):
+            return  # clean exit, or _recover already failed the handles
+        outstanding, self._outstanding = self._outstanding, {}
+        for handle in outstanding.values():
+            if not handle.event.done():
+                handle.event.set_exception(exc)
 
     async def close(self) -> None:
         self._closing = True
@@ -276,7 +296,11 @@ class ProcRpcClient(RpcCallerInterface):
 
     async def _recv_loop(self) -> None:
         while True:
-            body = await self.transport.recv()
+            # An idle client legitimately waits forever here; a dead peer
+            # surfaces as EOF/ConnectionError (recv returns None) and
+            # drives the bounded _recover path below, so the await is
+            # not unbounded in the failure case.
+            body = await self.transport.recv()  # flowlint: ignore[await-no-timeout]
             if body is None:
                 if self._closing:
                     return

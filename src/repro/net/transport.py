@@ -37,16 +37,22 @@ class TransportClosed(ConnectionError):
 
 
 async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
-    """Read one length-prefixed frame; ``None`` on clean EOF."""
+    """Read one length-prefixed frame; ``None`` on clean EOF.
+
+    Both reads below deliberately carry no timeout: an idle connection
+    waits here indefinitely by design, and a dead peer resolves the
+    await with EOF/ConnectionError, which callers turn into reconnect
+    (client) or connection teardown (server).
+    """
     try:
-        prefix = await reader.readexactly(LENGTH_PREFIX_BYTES)
+        prefix = await reader.readexactly(LENGTH_PREFIX_BYTES)  # flowlint: ignore[await-no-timeout]
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
     length = int.from_bytes(prefix, "big")
     if length > MAX_FRAME_BYTES:
         raise FramingError(f"frame length {length} exceeds limit {MAX_FRAME_BYTES}")
     try:
-        return await reader.readexactly(length)
+        return await reader.readexactly(length)  # flowlint: ignore[await-no-timeout]
     except (asyncio.IncompleteReadError, ConnectionError):
         return None
 
@@ -60,12 +66,14 @@ class StreamClientTransport:
         *,
         max_attempts: int = 5,
         backoff_s: float = 0.05,
+        connect_timeout_s: float = 5.0,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.endpoint = endpoint
         self.max_attempts = max_attempts
         self.backoff_s = backoff_s
+        self.connect_timeout_s = connect_timeout_s
         self.connects = 0
         self.reconnects = 0
         self._reader: Optional[asyncio.StreamReader] = None
@@ -80,12 +88,16 @@ class StreamClientTransport:
         last: Optional[Exception] = None
         for attempt in range(self.max_attempts):
             try:
-                self._reader, self._writer = await asyncio.open_connection(
-                    self.endpoint.host, self.endpoint.port
+                # A peer that accepts the SYN but never completes the
+                # handshake would otherwise stall this attempt forever;
+                # the timeout folds into the ordinary retry/backoff path.
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.endpoint.host, self.endpoint.port),
+                    timeout=self.connect_timeout_s,
                 )
                 self.connects += 1
                 return
-            except OSError as exc:
+            except (OSError, asyncio.TimeoutError) as exc:
                 last = exc
                 await asyncio.sleep(self.backoff_s * (2 ** attempt))
         raise TransportClosed(
@@ -205,6 +217,8 @@ class StreamServerTransport:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for connection in list(self._connections.values()):
+        # Swap before the close awaits: _serve's finally-pop must not
+        # race a stale clear() of the live dict (flowlint: yield-race).
+        connections, self._connections = self._connections, {}
+        for connection in connections.values():
             await connection.close()
-        self._connections.clear()

@@ -16,7 +16,14 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-__all__ = ["STAGE_ORDER", "StageBreakdown", "Cliff", "stage_breakdown", "detect_cliff"]
+__all__ = [
+    "STAGE_ORDER",
+    "STAGE_VOCABULARY",
+    "StageBreakdown",
+    "Cliff",
+    "stage_breakdown",
+    "detect_cliff",
+]
 
 #: Canonical lifecycle order (request out, server, response back).
 STAGE_ORDER = (
@@ -32,6 +39,11 @@ STAGE_ORDER = (
     "resp_dma",
     "complete",
 )
+
+#: The same names as a membership set: the vocabulary every backend's
+#: ``rpc_stage`` literals must come from (checked statically by
+#: ``repro.analysis.flowlint``'s ``stage-name`` pass).
+STAGE_VOCABULARY = frozenset(STAGE_ORDER)
 
 
 @dataclass(frozen=True)

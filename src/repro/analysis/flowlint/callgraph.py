@@ -1,0 +1,585 @@
+"""Interprocedural layer, part 1: the module-resolution call graph.
+
+flowlint's per-function passes stop at call boundaries; this module
+builds the graph that lets :mod:`.summaries` and :mod:`.typestate` see
+through them.  Construction is three phases over the already-parsed
+trees the driver hands in (one parse per file, as everywhere else):
+
+1. **Index** — every module-level function, class, and method gets a
+   qualified name (``repro.net.transport.StreamClientTransport.connect``)
+   derived from its path (the segment after ``src/`` is the import
+   path; ``tests``/``benchmarks``/``examples`` files are named by their
+   tree so fixtures stay unique).  Imports — including relative ones,
+   resolved against the module's package — become alias maps.
+2. **Types** — base classes, ``self.attr`` types (from ``__init__``
+   annotations and constructor assignments), parameter and return
+   annotations are resolved to indexed classes.  ``Optional[X]`` /
+   ``X | None`` / string annotations unwrap to ``X``.
+3. **Resolve** — every call site in every indexed function body is
+   resolved to a callee: direct module functions, constructors (edge to
+   ``__init__``), ``self.method`` through the enclosing class and its
+   bases, ``self.attr.method`` / ``local.method`` through the inferred
+   receiver type, ``super().method`` through the MRO walk.  A method
+   name that is unique across every indexed class resolves even with an
+   unknown receiver; ambiguous names (``close``, ``connect``, ...)
+   stay unresolved rather than guess — the analyses treat unresolved
+   calls conservatively.
+
+The graph is condensed with Tarjan's SCC algorithm; :meth:`CallGraph.sccs`
+yields components callees-first, which is exactly the bottom-up order
+the summary computation wants (a recursive cycle is one lattice point).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Iterable, Optional
+
+from .cfg import dotted_name
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "SiteTarget",
+    "CallGraph",
+    "build_callgraph",
+    "module_name",
+]
+
+#: Path components that root a module name.  ``src`` is stripped (the
+#: segment after it is the import path); the others are kept as a
+#: leading package so test/bench fixtures can never collide with src.
+_ROOTS = ("src", "tests", "benchmarks", "examples")
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for a file path (best effort, unique)."""
+    parts = list(PurePath(path).parts)
+    rel: list[str] = [parts[-1]]
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "src":
+            rel = parts[index + 1:]
+            break
+        if parts[index] in _ROOTS:
+            rel = parts[index:]
+            break
+    else:
+        rel = parts[-1:]
+    if rel and rel[-1].endswith(".py"):
+        rel = rel[:-1] + [rel[-1][: -len(".py")]]
+    if rel and rel[-1] == "__init__":
+        rel = rel[:-1]
+    return ".".join(part for part in rel if part)
+
+
+def _module_aliases(module: str, is_package: bool, tree: ast.Module) -> dict:
+    """Alias -> absolute dotted prefix, with relative imports resolved
+    against the module's own package."""
+    aliases: dict[str, str] = {}
+    pkg = module.split(".") if is_package else module.split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base_parts = (node.module or "").split(".")
+            else:
+                base_parts = pkg[: len(pkg) - (node.level - 1)]
+                if node.module:
+                    base_parts = base_parts + node.module.split(".")
+            base = ".".join(part for part in base_parts if part)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return aliases
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qname: str
+    module: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None  # enclosing class qname
+    is_async: bool = False
+    #: Class qname the function returns, when its annotation resolves.
+    returns_class: Optional[str] = None
+    #: Call sites in this function's own body (nested defs excluded),
+    #: in source order.
+    sites: list = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class."""
+
+    qname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    #: Resolved base-class qnames (unresolvable bases dropped).
+    bases: list = field(default_factory=list)
+    #: method simple name -> function qname.
+    methods: dict = field(default_factory=dict)
+    #: ``self.<attr>`` -> class qname, where inferable.
+    attr_types: dict = field(default_factory=dict)
+
+
+@dataclass
+class SiteTarget:
+    """Resolution of one call site."""
+
+    call: ast.Call
+    #: Resolved internal callee (function qname), when known.
+    target: Optional[str] = None
+    #: Dotted name of an unresolved/external callee (``time.time``,
+    #: ``?.close`` when even the receiver is unknown).
+    external: Optional[str] = None
+    #: Class qname this call *constructs*, for constructor calls.
+    constructs: Optional[str] = None
+
+
+class CallGraph:
+    """The resolved call graph over a batch of parsed files."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.edges: dict[str, set] = {}
+        #: id(ast.Call) -> SiteTarget (valid while the trees are alive,
+        #: which the graph guarantees by keeping FunctionInfo.node refs).
+        self.site_by_call: dict[int, SiteTarget] = {}
+        self._class_by_name: dict[str, Optional[str]] = {}
+        self._method_by_name: dict[str, Optional[str]] = {}
+        self._func_by_name: dict[str, Optional[str]] = {}
+        self._scc_cache: Optional[list] = None
+
+    # -- name resolution ---------------------------------------------------
+
+    def _unique(self, table: dict, name: str) -> Optional[str]:
+        return table.get(name)  # None for absent *and* ambiguous
+
+    def resolve_class(self, module: str, dotted: Optional[str]) -> Optional[str]:
+        if not dotted:
+            return None
+        if dotted in self.classes:
+            return dotted
+        local = f"{module}.{dotted}"
+        if local in self.classes:
+            return local
+        return self._unique(self._class_by_name, dotted.rsplit(".", 1)[-1])
+
+    def resolve_function(self, module: str, dotted: Optional[str]) -> Optional[str]:
+        if not dotted:
+            return None
+        if dotted in self.functions:
+            return dotted
+        local = f"{module}.{dotted}"
+        if local in self.functions:
+            return local
+        return None
+
+    def lookup_method(self, cls_qname: Optional[str], name: str) -> Optional[str]:
+        """Find ``name`` on the class or (breadth-first) its bases."""
+        seen: set[str] = set()
+        todo = [cls_qname] if cls_qname else []
+        while todo:
+            qname = todo.pop(0)
+            if qname is None or qname in seen:
+                continue
+            seen.add(qname)
+            info = self.classes.get(qname)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            todo.extend(info.bases)
+        return None
+
+    # -- condensation ------------------------------------------------------
+
+    def sccs(self) -> list:
+        """Strongly connected components, callees-first (bottom-up)."""
+        if self._scc_cache is not None:
+            return self._scc_cache
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        out: list[list[str]] = []
+        counter = [0]
+        for root in self.functions:
+            if root in index:
+                continue
+            # Iterative Tarjan: (node, iterator-position) call stack.
+            work = [(root, 0)]
+            while work:
+                node, pos = work.pop()
+                if pos == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                succs = sorted(self.edges.get(node, ()))
+                recursed = False
+                for i in range(pos, len(succs)):
+                    succ = succs[i]
+                    if succ not in self.functions:
+                        continue
+                    if succ not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        recursed = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if recursed:
+                    continue
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        comp.append(member)
+                        if member == node:
+                            break
+                    out.append(sorted(comp))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        self._scc_cache = out
+        return out
+
+    def to_json(self) -> dict:
+        sccs = self.sccs()
+        scc_of = {}
+        for number, comp in enumerate(sccs):
+            for member in comp:
+                scc_of[member] = number
+        return {
+            "tool": "flowlint-callgraph",
+            "functions": [
+                {
+                    "qname": info.qname,
+                    "path": info.path,
+                    "line": getattr(info.node, "lineno", 0),
+                    "async": info.is_async,
+                    "class": info.cls,
+                    "scc": scc_of.get(qname),
+                }
+                for qname, info in sorted(self.functions.items())
+            ],
+            "edges": sorted(
+                [caller, callee]
+                for caller, callees in self.edges.items()
+                for callee in callees
+            ),
+            "scc_count": len(sccs),
+            "recursive_sccs": [comp for comp in sccs if len(comp) > 1],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+def _body_calls(func: ast.AST) -> list:
+    """Call nodes in the function's own body, source order, nested
+    function/lambda bodies excluded (they run when *called*)."""
+    out: list[ast.Call] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, ast.Call):
+                out.append(child)
+            walk(child)
+
+    for stmt in func.body:
+        if isinstance(stmt, ast.Call):
+            out.append(stmt)
+        walk(stmt)
+    return out
+
+
+def _unwrap_annotation(node: Optional[ast.AST]) -> Optional[ast.AST]:
+    """Peel ``Optional[X]`` / ``X | None`` / ``"X"`` down to ``X``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = dotted_name(node.value, {})
+        if head and head.rsplit(".", 1)[-1] == "Optional":
+            return _unwrap_annotation(node.slice)
+        return None  # list[X], dict[...]: not a receiver type
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            if not (isinstance(side, ast.Constant) and side.value is None):
+                return _unwrap_annotation(side)
+        return None
+    return node
+
+
+class _Indexed:
+    """One module's slice of the index (phase-1 output)."""
+
+    def __init__(self, path: str, tree: ast.Module):
+        self.path = path
+        self.tree = tree
+        self.module = module_name(path)
+        is_package = PurePath(path).name == "__init__.py"
+        self.aliases = _module_aliases(self.module, is_package, tree)
+
+
+def build_callgraph(files: Iterable) -> CallGraph:
+    """Build the graph from ``(path, ast.Module)`` pairs."""
+    graph = CallGraph()
+    modules: list[_Indexed] = []
+
+    # Phase 1: index definitions.
+    for path, tree in files:
+        mod = _Indexed(str(path), tree)
+        modules.append(mod)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{mod.module}.{stmt.name}"
+                graph.functions[qname] = FunctionInfo(
+                    qname=qname, module=mod.module, path=mod.path,
+                    node=stmt, is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qname = f"{mod.module}.{stmt.name}"
+                cinfo = ClassInfo(qname=cls_qname, module=mod.module,
+                                  path=mod.path, node=stmt)
+                graph.classes[cls_qname] = cinfo
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fq = f"{cls_qname}.{sub.name}"
+                        graph.functions[fq] = FunctionInfo(
+                            qname=fq, module=mod.module, path=mod.path,
+                            node=sub, cls=cls_qname,
+                            is_async=isinstance(sub, ast.AsyncFunctionDef),
+                        )
+                        cinfo.methods[sub.name] = fq
+
+    # Unique simple-name tables (None marks an ambiguous name).
+    def _tally(table: dict, name: str, qname: str) -> None:
+        table[name] = qname if name not in table else None
+
+    for qname, cinfo in graph.classes.items():
+        _tally(graph._class_by_name, cinfo.node.name, qname)
+    for qname, finfo in graph.functions.items():
+        simple = finfo.node.name
+        if finfo.cls is None:
+            _tally(graph._func_by_name, simple, qname)
+        else:
+            _tally(graph._method_by_name, simple, qname)
+
+    by_module = {mod.module: mod for mod in modules}
+
+    def _resolve_type_node(module: str, node: Optional[ast.AST]) -> Optional[str]:
+        node = _unwrap_annotation(node)
+        if node is None:
+            return None
+        mod = by_module.get(module)
+        aliases = mod.aliases if mod else {}
+        return graph.resolve_class(module, dotted_name(node, aliases))
+
+    # Phase 2: types — bases, return annotations, self.attr types.
+    for cinfo in graph.classes.values():
+        for base in cinfo.node.bases:
+            resolved = _resolve_type_node(cinfo.module, base)
+            if resolved:
+                cinfo.bases.append(resolved)
+    for finfo in graph.functions.values():
+        finfo.returns_class = _resolve_type_node(
+            finfo.module, getattr(finfo.node, "returns", None)
+        )
+
+    def _value_class(module: str, cls: Optional[str], env: dict,
+                     value: Optional[ast.AST]) -> Optional[str]:
+        """Class qname of a value expression, where inferable."""
+        if value is None:
+            return None
+        if isinstance(value, ast.Await):
+            return _value_class(module, cls, env, value.value)
+        if isinstance(value, ast.Name):
+            return env.get(value.id)
+        if isinstance(value, ast.Attribute):
+            if (isinstance(value.value, ast.Name)
+                    and value.value.id in ("self", "cls") and cls):
+                cinfo = graph.classes.get(cls)
+                if cinfo:
+                    return cinfo.attr_types.get(value.attr)
+            return None
+        if isinstance(value, ast.Call):
+            target = _callee(module, cls, env, value)
+            if target.constructs:
+                return target.constructs
+            if target.target:
+                return graph.functions[target.target].returns_class
+            return None
+        return None
+
+    def _callee(module: str, cls: Optional[str], env: dict,
+                call: ast.Call) -> SiteTarget:
+        """Resolve one call site against the index."""
+        mod = by_module.get(module)
+        aliases = mod.aliases if mod else {}
+        func = call.func
+        site = SiteTarget(call=call)
+        if isinstance(func, ast.Name):
+            dotted = dotted_name(func, aliases)
+            cls_q = graph.resolve_class(module, dotted)
+            if cls_q:
+                site.constructs = cls_q
+                site.target = graph.lookup_method(cls_q, "__init__")
+                site.external = None if site.target else dotted
+                return site
+            site.target = graph.resolve_function(module, dotted)
+            if site.target is None:
+                site.external = dotted or func.id
+            return site
+        if not isinstance(func, ast.Attribute):
+            return site  # f()(x), subscripted callables: opaque
+        # super().m() — search the enclosing class's bases.
+        if (isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super" and cls):
+            cinfo = graph.classes.get(cls)
+            for base in (cinfo.bases if cinfo else []):
+                found = graph.lookup_method(base, func.attr)
+                if found:
+                    site.target = found
+                    return site
+            site.external = f"super().{func.attr}"
+            return site
+        receiver = _value_class(module, cls, env, func.value)
+        if receiver:
+            site.target = graph.lookup_method(receiver, func.attr)
+            if site.target:
+                return site
+        dotted = dotted_name(func, aliases)
+        if dotted:
+            # Module-qualified function or ClassName.method.
+            site.target = graph.resolve_function(module, dotted)
+            if site.target:
+                return site
+            head, _, tail = dotted.rpartition(".")
+            cls_q = graph.resolve_class(module, head)
+            if cls_q:
+                site.constructs = cls_q if tail == "__init__" else None
+                site.target = graph.lookup_method(cls_q, tail)
+                if site.target:
+                    return site
+        # Unknown receiver: a method name unique across every indexed
+        # class still resolves; ambiguous names stay external.
+        unique = graph._unique(graph._method_by_name, func.attr)
+        if unique and receiver is None:
+            site.target = unique
+            return site
+        site.external = dotted or f"?.{func.attr}"
+        return site
+
+    # self.attr types: annotated or constructor-assigned in any method.
+    for cinfo in graph.classes.values():
+        assigns: list[tuple[str, Optional[ast.AST], Optional[ast.AST]]] = []
+        for method_q in cinfo.methods.values():
+            fnode = graph.functions[method_q].node
+            for node in ast.walk(fnode):
+                target_attr = None
+                ann = value = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target_attr, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target_attr, ann, value = node.target, node.annotation, node.value
+                else:
+                    continue
+                if (isinstance(target_attr, ast.Attribute)
+                        and isinstance(target_attr.value, ast.Name)
+                        and target_attr.value.id == "self"):
+                    assigns.append((target_attr.attr, ann, value))
+        for stmt in cinfo.node.body:  # class-level annotations
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                assigns.append((stmt.target.id, stmt.annotation, None))
+        for attr, ann, value in assigns:
+            resolved = _resolve_type_node(cinfo.module, ann)
+            if resolved is None and isinstance(value, ast.Call):
+                if isinstance(value.func, ast.Name):
+                    mod = by_module.get(cinfo.module)
+                    resolved = graph.resolve_class(
+                        cinfo.module,
+                        dotted_name(value.func, mod.aliases if mod else {}),
+                    )
+            if resolved:
+                if attr not in cinfo.attr_types:
+                    cinfo.attr_types[attr] = resolved
+                elif cinfo.attr_types[attr] != resolved:
+                    cinfo.attr_types[attr] = None  # conflicting: unknown
+        cinfo.attr_types = {
+            attr: qn for attr, qn in cinfo.attr_types.items() if qn
+        }
+
+    # Phase 3: local type environments + call-site resolution.
+    def _local_env(finfo: FunctionInfo) -> dict:
+        env: dict[str, Optional[str]] = {}
+        if finfo.cls:
+            env["self"] = finfo.cls
+            env["cls"] = finfo.cls
+        fargs = finfo.node.args
+        for arg in (list(fargs.posonlyargs) + list(fargs.args)
+                    + list(fargs.kwonlyargs)):
+            resolved = _resolve_type_node(finfo.module, arg.annotation)
+            if resolved:
+                env[arg.arg] = resolved
+        bindings: list[tuple[str, ast.AST]] = []
+        for node in ast.walk(finfo.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                bindings.append((node.targets[0].id, node.value))
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                resolved = _resolve_type_node(finfo.module, node.annotation)
+                if resolved:
+                    env[node.target.id] = resolved
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        bindings.append(
+                            (item.optional_vars.id, item.context_expr)
+                        )
+        # Two rounds so `x = self.qp` then `y = x.peer_of()` both land.
+        for _ in range(2):
+            for name, value in bindings:
+                resolved = _value_class(finfo.module, finfo.cls, env, value)
+                if resolved:
+                    env[name] = resolved
+        return env
+
+    for finfo in graph.functions.values():
+        env = _local_env(finfo)
+        graph.edges.setdefault(finfo.qname, set())
+        for call in _body_calls(finfo.node):
+            site = _callee(finfo.module, finfo.cls, env, call)
+            finfo.sites.append(site)
+            graph.site_by_call[id(call)] = site
+            if site.target:
+                graph.edges[finfo.qname].add(site.target)
+    return graph

@@ -72,6 +72,7 @@ AWAIT = "await"
 YIELD = "yield"
 ASSIGN = "assign"
 CALL = "call"
+RETURN = "return"
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,15 @@ class Op:
     mutator: bool = False
     #: The AST node the op came from (message rendering).
     node: Optional[ast.AST] = None
+    #: Exception-mode only: this CALL op sits on a handler edge and
+    #: models just the ownership transfer of a raising statement (the
+    #: callee received its arguments even if it then raised) — the
+    #: typestate engine applies escapes and nothing else.
+    exc_shim: bool = False
+    #: ASSIGN only: the value expression being bound, when the binding
+    #: comes from a statement-level assignment (the typestate engine
+    #: matches acquire calls through this).
+    value: Optional[ast.AST] = None
 
 
 class Block:
@@ -115,6 +125,10 @@ class Cfg:
     func: ast.AST
     blocks: list[Block] = field(default_factory=list)
     entry: int = 0
+    #: Block collecting every path on which an exception escapes the
+    #: function (only present when the CFG was built with a ``raises``
+    #: predicate — the typestate engine's exception-exit).
+    exc_exit: Optional[int] = None
 
     def preds(self) -> dict[int, list[int]]:
         out: dict[int, list[int]] = {b.bid: [] for b in self.blocks}
@@ -232,7 +246,12 @@ def _loc(node: ast.AST) -> tuple:
 
 
 class _Builder:
-    def __init__(self, aliases: dict[str, str], resolver: SharedResolver):
+    def __init__(
+        self,
+        aliases: dict[str, str],
+        resolver: SharedResolver,
+        raises: Optional[Callable[[ast.Call], bool]] = None,
+    ):
         self.aliases = aliases
         self.resolver = resolver
         self.blocks: list[Block] = []
@@ -241,6 +260,15 @@ class _Builder:
         self._loops: list[tuple[Block, Block]] = []
         #: Entry blocks of except handlers currently in scope.
         self._handlers: list[list[Block]] = []
+        #: Exception-tracking mode: ``raises(call)`` decides whether a
+        #: call site can raise; statements containing such calls get an
+        #: edge from the *pre-statement* block to the innermost handler
+        #: scope (or the dedicated exception-exit block), so any-path
+        #: analyses see the state a mid-statement raise leaves behind.
+        self.raises = raises
+        self.exc_block: Optional[Block] = None
+        if raises is not None:
+            self.exc_block = self._new_block()
 
     # -- block plumbing ----------------------------------------------------
 
@@ -269,7 +297,10 @@ class _Builder:
         deps: frozenset = frozenset()
         if isinstance(node, ast.Await):
             deps = self.expr(node.value)
-            self._emit(Op(AWAIT, None, _loc(node), node=node))
+            # The awaited value's deps ride on the op so the typestate
+            # engine can see `await task` consume a tracked resource.
+            self._emit(Op(AWAIT, None, _loc(node), deps=tuple(sorted(deps)),
+                          node=node))
             return deps
         if isinstance(node, (ast.Yield, ast.YieldFrom)):
             deps = self.expr(getattr(node, "value", None))
@@ -307,7 +338,8 @@ class _Builder:
         if isinstance(node, ast.NamedExpr):
             deps = self.expr(node.value)
             self._emit(Op(ASSIGN, node.target.id, _loc(node),
-                          deps=tuple(sorted(deps)), node=node))
+                          deps=tuple(sorted(deps)), node=node,
+                          value=node.value))
             return deps
         # Generic in-order fallback: BinOp, BoolOp, Compare, IfExp,
         # containers, f-strings, Starred, slices, ...
@@ -350,12 +382,51 @@ class _Builder:
                           mutator=True, node=node))
         return deps
 
+    # -- exception edges (typestate mode) ----------------------------------
+
+    def _calls_in(self, node: ast.AST):
+        todo = [node]
+        while todo:
+            sub = todo.pop()
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                continue  # deferred bodies do not run here
+            if isinstance(sub, ast.Call):
+                yield sub
+            todo.extend(ast.iter_child_nodes(sub))
+
+    def _stmt_can_raise(self, node: ast.stmt) -> bool:
+        """Can evaluating this statement (compound statements: just the
+        header expression) raise out of it?"""
+        if isinstance(node, ast.Assert):
+            return True
+        if isinstance(node, (ast.Raise, ast.Try, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.ClassDef)):
+            return False  # Raise routes itself; the rest defer/nest
+        if isinstance(node, (ast.If, ast.While)):
+            headers: list[ast.AST] = [node.test]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            headers = [node.iter]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            headers = [item.context_expr for item in node.items]
+        elif node.__class__.__name__ == "Match":
+            headers = [node.subject]
+        else:
+            headers = [node]
+        return any(
+            self.raises(call) for header in headers
+            for call in self._calls_in(header)
+        )
+
     # -- assignment targets ------------------------------------------------
 
-    def target(self, node: ast.AST, deps: frozenset) -> None:
+    def target(
+        self, node: ast.AST, deps: frozenset,
+        value: Optional[ast.AST] = None,
+    ) -> None:
         if isinstance(node, ast.Name):
             self._emit(Op(ASSIGN, node.id, _loc(node),
-                          deps=tuple(sorted(deps)), node=node))
+                          deps=tuple(sorted(deps)), node=node, value=value))
             shared = self.resolver(node)
             if shared is not None:
                 self._emit(Op(WRITE, shared, _loc(node),
@@ -368,6 +439,12 @@ class _Builder:
                               deps=tuple(sorted(deps)), node=node))
             else:
                 self.expr(node.value)
+                if self.raises is not None:
+                    # Exception mode: a store through any attribute is an
+                    # ownership transfer the typestate engine must see,
+                    # even when the chain is not shared state.
+                    self._emit(Op(WRITE, None, _loc(node),
+                                  deps=tuple(sorted(deps)), node=node))
             return
         if isinstance(node, ast.Subscript):
             slice_deps = self.expr(node.slice)
@@ -380,6 +457,9 @@ class _Builder:
                               mutator=True, node=node))
             else:
                 self.expr(node.value)
+                if self.raises is not None:
+                    self._emit(Op(WRITE, None, _loc(node),
+                                  deps=tuple(sorted(deps)), node=node))
             return
         if isinstance(node, (ast.Tuple, ast.List)):
             for elt in node.elts:
@@ -395,15 +475,34 @@ class _Builder:
             self.stmt(stmt)
 
     def stmt(self, node: ast.stmt) -> None:  # noqa: C901 - one big dispatch
+        if self.raises is not None and self._stmt_can_raise(node):
+            # Seal the pre-statement state and give it an exception
+            # edge: a raise mid-statement leaves *that* state behind
+            # (acquire-on-success: `x = alloc()` raising binds nothing).
+            # The edge runs through a shim block holding escape-only
+            # copies of the statement's calls: a callee received its
+            # arguments even if it raised, so ownership passed to it is
+            # not "still held" on the unwind path.
+            pre = self.current
+            following = self._new_block()
+            pre.edge(following)
+            shim = self._new_block()
+            pre.edge(shim)
+            for call in self._calls_in(node):
+                shim.ops.append(Op(CALL, None, _loc(call), node=call,
+                                   exc_shim=True))
+            self._to_handlers(shim)
+            self.current = following
         if isinstance(node, ast.Expr):
             self.expr(node.value)
         elif isinstance(node, ast.Assign):
             deps = self.expr(node.value)
             for target in node.targets:
-                self.target(target, deps)
+                self.target(target, deps, value=node.value)
         elif isinstance(node, ast.AnnAssign):
             if node.value is not None:
-                self.target(node.target, self.expr(node.value))
+                self.target(node.target, self.expr(node.value),
+                            value=node.value)
         elif isinstance(node, ast.AugAssign):
             # LOAD target, evaluate value, STORE target: the load is a
             # read-dependence of the store even without a temp local.
@@ -445,7 +544,9 @@ class _Builder:
                         self._emit(Op(WRITE, shared, _loc(target),
                                       node=target))
         elif isinstance(node, ast.Return):
-            self.expr(node.value)
+            deps = self.expr(node.value)
+            self._emit(Op(RETURN, None, _loc(node), deps=tuple(sorted(deps)),
+                          node=node))
             self.current = self._new_block()  # unreachable continuation
         elif isinstance(node, ast.Raise):
             self.expr(node.exc)
@@ -545,17 +646,32 @@ class _Builder:
             if is_async:
                 self._emit(Op(AWAIT, None, _loc(node), node=node))
             if item.optional_vars is not None:
-                self.target(item.optional_vars, deps)
+                self.target(item.optional_vars, deps, value=item.context_expr)
         self.body(node.body)
         if is_async:
             self._emit(Op(AWAIT, None, _loc(node), node=node))
 
     def _to_handlers(self, block: Block) -> None:
+        if self.raises is not None:
+            # Exception mode: the innermost scope that can actually
+            # observe the exception — the nearest non-empty handler list
+            # (a try/finally pushes its finally's exceptional copy) —
+            # else the exception leaves the function.
+            for handlers in reversed(self._handlers):
+                if handlers:
+                    for handler in handlers:
+                        block.edge(handler)
+                    return
+            block.edge(self.exc_block)
+            return
         if self._handlers:
             for handler in self._handlers[-1]:
                 block.edge(handler)
 
     def _try(self, node: ast.Try) -> None:
+        if self.raises is not None:
+            self._try_exc(node)
+            return
         handler_entries = [self._new_block() for _ in node.handlers]
         first_body_index = len(self.blocks)
         self._handlers.append(handler_entries)
@@ -588,6 +704,60 @@ class _Builder:
         if node.finalbody:
             self.body(node.finalbody)
 
+    def _try_exc(self, node: ast.Try) -> None:
+        """Exception-mode lowering of ``try``.
+
+        No blanket body-block->handler edges here: the per-statement
+        pre-splits in :meth:`stmt` already carry the precise pre-raise
+        states to the handler scope.  A ``finally`` contributes *two*
+        lowered copies of its body — the normal one at the join, and an
+        exceptional copy (``fin_exc``) through which in-flight
+        exceptions propagate to the enclosing scope — so a release in a
+        ``finally`` is visible on the exception path.
+        """
+        fin_exc: Optional[Block] = None
+        if node.finalbody:
+            fin_exc = self._new_block()
+            saved = self.current
+            self.current = fin_exc
+            self.body(node.finalbody)
+            self._to_handlers(self.current)
+            self.current = saved
+        handler_entries = [self._new_block() for _ in node.handlers]
+        scope = list(handler_entries)
+        if fin_exc is not None:
+            scope.append(fin_exc)
+        self._handlers.append(scope)
+        body_entry = self._new_block()
+        self.current.edge(body_entry)
+        self.current = body_entry
+        self.body(node.body)
+        body_exit = self.current
+        self._handlers.pop()
+        # Handler and orelse bodies run outside the try's protection;
+        # only the exceptional finally (if any) still applies to them.
+        inner = [fin_exc] if fin_exc is not None else []
+        join = self._new_block()
+        if node.orelse:
+            self._handlers.append(inner)
+            self.current = body_exit
+            self.body(node.orelse)
+            self._handlers.pop()
+            self.current.edge(join)
+        else:
+            body_exit.edge(join)
+        for entry, handler in zip(handler_entries, node.handlers):
+            self.current = entry
+            self._handlers.append(inner)
+            if handler.name and handler.type is not None:
+                self.expr(handler.type)
+            self.body(handler.body)
+            self._handlers.pop()
+            self.current.edge(join)
+        self.current = join
+        if node.finalbody:
+            self.body(node.finalbody)
+
     def _match(self, node) -> None:
         subject_deps = self.expr(node.subject)
         before = self.current
@@ -612,11 +782,20 @@ def build_cfg(
     func: ast.AST,
     aliases: dict[str, str],
     resolver: SharedResolver,
+    raises: Optional[Callable[[ast.Call], bool]] = None,
 ) -> Cfg:
-    """Lower one function body to a CFG of abstract-op basic blocks."""
-    builder = _Builder(aliases, resolver)
+    """Lower one function body to a CFG of abstract-op basic blocks.
+
+    With a ``raises`` predicate, the CFG additionally models exception
+    flow: statements whose calls may raise get an edge from the
+    pre-statement state to the innermost handler scope, and a dedicated
+    ``exc_exit`` block collects every path on which an exception leaves
+    the function.
+    """
+    builder = _Builder(aliases, resolver, raises)
     builder.body(func.body)
-    return Cfg(func=func, blocks=builder.blocks, entry=0)
+    exc_exit = builder.exc_block.bid if builder.exc_block is not None else None
+    return Cfg(func=func, blocks=builder.blocks, entry=0, exc_exit=exc_exit)
 
 
 # ---------------------------------------------------------------------------

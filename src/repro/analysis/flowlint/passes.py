@@ -42,11 +42,18 @@ driver builds (tree, import aliases, module globals) and appends
     is illegal per :data:`repro.core.protocol.CLIENT_TRANSITIONS`, or a
     direct ``<x>.state = ClientState.S`` store that bypasses the table
     (initializing IDLE in ``__init__``/``reset*`` is the one legal form).
+
+Three further rule IDs in :data:`FLOW_RULES` — ``nondet-transitive``,
+``resource-leak``, and ``resource-typestate`` — belong to the
+interprocedural stage, which runs once over the whole batch rather than
+per file; see :mod:`.callgraph`, :mod:`.summaries`, and
+:mod:`.typestate`.
 """
 
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -69,6 +76,13 @@ FLOW_RULES = {
     "stage-parity": "repro.net stage vocabulary diverges from the sim path",
     "proto-transition": "activation-state mutation not in the declarative "
                         "CLIENT_TRANSITIONS table (repro.core.protocol)",
+    # Interprocedural passes (callgraph + summaries + typestate).
+    "nondet-transitive": "call into a function that transitively reaches a "
+                         "raw RNG/wall-clock leaf (callgraph summaries)",
+    "resource-leak": "acquired resource still held when the function raises "
+                     "or returns (typestate over the exception-mode CFG)",
+    "resource-typestate": "double-release or use-after-close of a tracked "
+                          "resource (declared lifecycle protocols)",
 }
 
 #: Dotted call targets that block the event loop.
@@ -600,11 +614,29 @@ def pass_protocol(ctx: ModuleContext) -> None:
 # Entry point
 # ---------------------------------------------------------------------------
 
-def run_passes(ctx: ModuleContext) -> ModuleContext:
-    """All per-file passes, in catalog order."""
-    pass_yield_race(ctx)
-    pass_async_blocking(ctx)
-    pass_task_audit(ctx)
-    pass_stage_names(ctx)
-    pass_protocol(ctx)
+#: (timing key, pass) — the per-file passes in catalog order.
+PASS_TABLE = (
+    ("yield-race", pass_yield_race),
+    ("async-blocking", pass_async_blocking),
+    ("task-orphan", pass_task_audit),
+    ("stage-name", pass_stage_names),
+    ("proto-transition", pass_protocol),
+)
+
+
+def run_passes(
+    ctx: ModuleContext, timings: Optional[dict] = None
+) -> ModuleContext:
+    """All per-file passes, in catalog order.  ``timings`` (pass name ->
+    seconds) accumulates across files for the JSON report's budget
+    breakdown."""
+    for name, pass_fn in PASS_TABLE:
+        if timings is None:
+            pass_fn(ctx)
+            continue
+        started = time.perf_counter()  # detlint: ignore[wall-clock] — lint self-profiling, not sim state
+        pass_fn(ctx)
+        timings[name] = timings.get(name, 0.0) + (
+            time.perf_counter() - started  # detlint: ignore[wall-clock] — lint self-profiling
+        )
     return ctx

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from ..rdma.mr import Access
-from ..rdma.node import InboundWrite, Node
+from ..rdma.node import InboundWrite, Node, create_qp_pair
 from ..rdma.types import Transport
 from ..rdma.verbs import post_read, post_write
 from ..sim.resources import Store
@@ -158,9 +158,7 @@ class ScaleRpcServer(RpcServerApi):
         client_id = next(self._client_ids)
         if client_id >= MAX_CLIENTS:
             raise RuntimeError("endpoint entry region exhausted")
-        server_qp = self.node.create_qp(Transport.RC)
-        client_qp = machine.create_qp(Transport.RC)
-        client_qp.connect(server_qp)
+        client_qp, server_qp = create_qp_pair(machine, self.node, Transport.RC)
         client = ScaleRpcClient(self, machine, client_id, client_qp)
         ctx = ClientContext(
             client_id=client_id,
@@ -203,9 +201,9 @@ class ScaleRpcServer(RpcServerApi):
         if old.peer is not None:
             old.peer.close()
         old.close()
-        server_qp = self.node.create_qp(Transport.RC)
-        client_qp = client.machine.create_qp(Transport.RC)
-        client_qp.connect(server_qp)
+        client_qp, server_qp = create_qp_pair(
+            client.machine, self.node, Transport.RC
+        )
         client.qp = client_qp
         ctx = self.groups.clients.get(client.client_id)
         if ctx is None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..rdma.node import create_qp_pair
 from ..rdma.qp import QueuePair
 from ..rdma.types import Transport
 from ..rdma.verbs import post_recv, post_send
@@ -76,9 +77,10 @@ class GlobalSynchronizer:
         self._links: list[tuple[ScaleRpcServer, QueuePair, QueuePair]] = []
         self._recv_regions: dict[int, tuple[int, int]] = {}  # qp_num -> (base, next slot)
         for follower in self.followers:
-            follower_qp = follower.node.create_qp(Transport.RC)
-            server_qp = self.time_server.node.create_qp(Transport.RC)
-            follower_qp.connect(server_qp)
+            follower_qp, server_qp = create_qp_pair(
+                follower.node, self.time_server.node, Transport.RC,
+                client_first=True,
+            )
             self._buffers(follower_qp)
             self._buffers(server_qp)
             self._links.append((follower, follower_qp, server_qp))

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
-from ..rdma import Access, Node, Transport
+from ..rdma import Access, Node, Transport, create_qp_pair
 from ..rdma.verbs import post_read, post_write
 
 __all__ = ["Extent", "DataServer", "ExtentAllocator", "DataPath", "DEFAULT_EXTENT_BYTES"]
@@ -89,14 +89,20 @@ class ExtentAllocator:
             raise ValueError("allocation must be positive")
         extents: list[Extent] = []
         remaining = nbytes
-        while remaining > 0:
-            index = self._cursor % len(self.data_servers)
-            self._cursor += 1
-            server = self.data_servers[index]
-            addr = server.allocate_extent()
-            length = min(server.extent_bytes, remaining)
-            extents.append(Extent(index, addr, length))
-            remaining -= length
+        try:
+            while remaining > 0:
+                index = self._cursor % len(self.data_servers)
+                self._cursor += 1
+                server = self.data_servers[index]
+                addr = server.allocate_extent()
+                length = min(server.extent_bytes, remaining)
+                extents.append(Extent(index, addr, length))
+                remaining -= length
+        except MemoryError:
+            # A partial allocation must not strand the extents already
+            # carved out (flowlint resource-leak [extent]).
+            self.free(extents)
+            raise
         return extents
 
 
@@ -108,9 +114,9 @@ class DataPath:
         self.data_servers = data_servers
         self.qps = []
         for server in data_servers:
-            client_qp = machine.create_qp(Transport.RC)
-            server_qp = server.node.create_qp(Transport.RC)
-            client_qp.connect(server_qp)
+            client_qp, _server_qp = create_qp_pair(
+                machine, server.node, Transport.RC, client_first=True
+            )
             self.qps.append(client_qp)
         self._staging = machine.register_memory(4 << 20)
         self.bytes_written = 0

@@ -17,7 +17,7 @@ from ..core.message import RpcRequest, RpcResponse
 from ..core.msgpool import BlockCursor, SlotCursor
 from ..rdma.cq import CompletionQueue
 from ..rdma.mr import Access
-from ..rdma.node import InboundWrite, Node
+from ..rdma.node import InboundWrite, Node, create_qp_pair
 from ..rdma.qp import QueuePair
 from ..rdma.types import Transport
 from ..rdma.verbs import post_recv, post_write
@@ -42,11 +42,10 @@ class SelfRpcServer(BaseRpcServer):
         super().start()
 
     def _admit(self, machine: Node, client_id: int) -> "SelfRpcClient":
-        server_qp = self.node.create_qp(
-            Transport.RC, recv_cq=self._shared_rcq, max_recv_wr=4 * _RECV_DEPTH
+        client_qp, server_qp = create_qp_pair(
+            machine, self.node, Transport.RC,
+            recv_cq=self._shared_rcq, max_recv_wr=4 * _RECV_DEPTH,
         )
-        client_qp = machine.create_qp(Transport.RC)
-        client_qp.connect(server_qp)
         for _ in range(_RECV_DEPTH):
             post_recv(server_qp, self._dummy.range.base, 64)
         self._qps_by_imm[client_id] = server_qp

@@ -48,14 +48,17 @@ async def _serve(args) -> dict:
     )
     server.obs = obs
     endpoint = await server.start()
-    print(json.dumps(
-        {"ready": {"host": endpoint.host, "port": endpoint.port}}
-    ), flush=True)
-    # Serve until the parent says stop (a line on stdin, or stdin closing
-    # when the parent dies — either way the server winds down cleanly).
-    loop = asyncio.get_running_loop()
-    await loop.run_in_executor(None, sys.stdin.readline)
-    await server.stop()
+    try:
+        print(json.dumps(
+            {"ready": {"host": endpoint.host, "port": endpoint.port}}
+        ), flush=True)
+        # Serve until the parent says stop (a line on stdin, or stdin
+        # closing when the parent dies — either way the server winds
+        # down cleanly).
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, sys.stdin.readline)
+    finally:
+        await server.stop()
     return {
         "role": "server",
         "transport": args.transport,
@@ -75,24 +78,27 @@ async def _run_client(args) -> dict:
         Endpoint(args.host, args.port), client_id=args.client_id, obs=obs,
     )
     await client.connect()
-    clock = client.clock
-    latencies: list[int] = []
-    started = clock.now()
-    remaining = args.ops
-    while remaining > 0:
-        batch = min(args.batch, remaining)
-        batch_start = clock.now()
-        handles = []
-        for _ in range(batch):
-            handles.append(await client.async_call(
-                "echo", payload=f"c{args.client_id}", data_bytes=args.data_bytes
-            ))
-        await client.flush()
-        await client.poll_completions(handles)
-        latencies.append(clock.now() - batch_start)
-        remaining -= batch
-    wall_ns = clock.now() - started
-    await client.close()
+    try:
+        clock = client.clock
+        latencies: list[int] = []
+        started = clock.now()
+        remaining = args.ops
+        while remaining > 0:
+            batch = min(args.batch, remaining)
+            batch_start = clock.now()
+            handles = []
+            for _ in range(batch):
+                handles.append(await client.async_call(
+                    "echo", payload=f"c{args.client_id}",
+                    data_bytes=args.data_bytes,
+                ))
+            await client.flush()
+            await client.poll_completions(handles)
+            latencies.append(clock.now() - batch_start)
+            remaining -= batch
+        wall_ns = clock.now() - started
+    finally:
+        await client.close()
     latencies.sort()
     return {
         "role": "client",

@@ -4,7 +4,7 @@ from .cq import Completion, CompletionQueue
 from .fabric import Fabric, WireParams
 from .mr import Access, MemoryRegion, MrTable, ProtectionError
 from .nic import Nic, NicStats
-from .node import InboundWrite, Node
+from .node import InboundWrite, Node, create_qp_pair
 from .qp import AddressHandle, QpError, QpState, QueuePair, RecvWqe
 from .types import (
     CAPABILITIES,
@@ -39,6 +39,7 @@ __all__ = [
     "NicParams",
     "NicStats",
     "Node",
+    "create_qp_pair",
     "Opcode",
     "ProtectionError",
     "QpError",

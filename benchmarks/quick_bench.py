@@ -103,6 +103,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="after", help="run label (before/after)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--history", type=Path, default=None, metavar="JSONL",
+                        help="also append this run to a BENCH_history.jsonl "
+                             "perf trajectory (see repro.obs.perfdb)")
     args = parser.parse_args()
 
     # With REPRO_SANITIZE=1 the whole probe runs under SimSanitizer: any
@@ -155,6 +158,19 @@ def main() -> None:
 
     args.out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     print("wrote", args.out)
+
+    if args.history is not None:
+        from repro.obs.perfdb import append_entry, make_entry
+
+        entry = make_entry(
+            label=args.label, kind="quick_bench",
+            metrics={
+                "kernel_events_per_s": record["kernel"]["events_per_sec"],
+                "fig8_wall_s": record["fig8_point"]["wall_s"],
+            },
+        )
+        append_entry(args.history, entry)
+        print("appended history entry to", args.history)
     if report is not None and not report.ok:
         sys.exit(1)
 

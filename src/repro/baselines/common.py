@@ -162,6 +162,8 @@ class BaseRpcServer(RpcServerApi):
         """Route an arrived request to its worker thread."""
         obs = self.node.fabric.obs
         if obs is not None:
+            # req_rx == dispatch in the sim: no decode step (cf. proc).
+            obs.rpc_stage(request.req_id, "req_rx", self.sim.now)
             obs.rpc_stage(request.req_id, "dispatch", self.sim.now)
         self._stores[self.worker_index(request.client_id)].put((request, addr))
 
@@ -311,6 +313,8 @@ class BaseRpcClient(RpcClientApi):
         self._progress_ns = self.sim.now
         obs = self.machine.fabric.obs
         if obs is not None:
+            # resp_rx == complete in the sim: no decode step (cf. proc).
+            obs.rpc_stage(response.req_id, "resp_rx", self.sim.now)
             obs.rpc_stage(response.req_id, "complete", self.sim.now)
 
     # -- fault recovery (DESIGN.md section 10) -----------------------------

@@ -11,6 +11,7 @@ paper-vs-measured values are recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from ..dfs import MdtestConfig, run_mdtest
@@ -765,6 +766,7 @@ def fig_real(quick: bool = True, backend: str = "proc") -> FigureResult:
     """
     from ..net import ProcWorkload, run_proc_workload
     from ..transport import backend_names
+    from .harness import obs_export_dir
 
     if backend != "proc":
         raise ValueError(
@@ -785,9 +787,18 @@ def fig_real(quick: bool = True, backend: str = "proc") -> FigureResult:
             system="scalerpc", n_clients=n, n_client_machines=1,
             batch_size=batch, warmup_ns=100 * US, measure_ns=400 * US))
         sim_kops.append(sim.throughput_mops * 1e3)
+        # ``--obs DIR`` flows through to the process runner: each worker
+        # process writes its own JSONL shard, one subdirectory per client
+        # count so every sweep point stays independently mergeable with
+        # ``python -m repro.obs merge DIR/real_<n>c``.
+        export = obs_export_dir()
         real = run_proc_workload(ProcWorkload(
             transport="scalerpc", n_clients=n, ops_per_client=ops,
-            batch_size=batch, timeout_s=120.0))
+            batch_size=batch, timeout_s=120.0,
+            obs_export_dir=(
+                None if export is None
+                else os.path.join(export, f"real_{n}c")
+            )))
         assert real.completed_ops == n * ops, (
             f"real backend lost ops: {real.completed_ops}/{n * ops}"
         )

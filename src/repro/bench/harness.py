@@ -23,7 +23,8 @@ from ..transport import Topology, bench_systems, get as get_transport
 from .metrics import LatencyRecorder, LatencyStats, throughput_mops
 
 __all__ = ["SYSTEMS", "RpcExperiment", "RpcResult", "run_rpc_experiment",
-           "MultiSeedResult", "run_multi_seed", "set_obs_export_dir"]
+           "MultiSeedResult", "run_multi_seed", "set_obs_export_dir",
+           "obs_export_dir"]
 
 #: When set (``python -m repro.bench --obs DIR``), every obs-enabled
 #: experiment also writes its artifact to DIR as JSONL plus a
@@ -35,6 +36,13 @@ def set_obs_export_dir(path: Optional[str]) -> None:
     """Direct obs-enabled experiments to export their artifacts to ``path``."""
     global _obs_export_dir
     _obs_export_dir = path
+
+
+def obs_export_dir() -> Optional[str]:
+    """The export directory set via ``--obs`` (``None`` when unset).
+    Proc-backend experiments (``fig_real``) read this to point the
+    process runner's per-worker shard export at the same place."""
+    return _obs_export_dir
 
 #: The compared RPC implementations (paper Table 2, plus the Static
 #: ScaleRPC variant of Figure 12), from the transport registry.
@@ -293,8 +301,14 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
             sim, topo.fabric, server, clients, experiment.fault_plan, rng
         )
         injector.start()
+    batch_hist = None
     if observer is not None:
         _register_bench_metrics(observer, topo, server, clients, injector)
+        # First-class latency distribution: every measured batch lands in
+        # an HDR-style histogram, snapshotted per epoch (count/p50/p99/
+        # p999) and exported with its full bucket table.  Pure telemetry
+        # bookkeeping — simulated results are identical with it on.
+        batch_hist = observer.metrics.histogram("rpc.batch_latency_ns")
         observer.metrics.start(sim, experiment.obs_epoch_ns)
 
     stop_after = experiment.stop_polling_after_ns
@@ -367,6 +381,8 @@ def run_rpc_experiment(experiment: RpcExperiment) -> RpcResult:
                 ):
                     recorder.record(sim.now - batch_start)
                     state["ops"] += len(handles)
+                    if batch_hist is not None:
+                        batch_hist.record(sim.now - batch_start)
         finally:
             state["active"] -= 1
 

@@ -347,6 +347,10 @@ class ScaleRpcClient(RpcClientApi):
                 self._progress_ns = self.sim.now
                 obs = self.machine.fabric.obs
                 if obs is not None:
+                    # resp_rx coincides with complete: the simulated
+                    # client decodes for free (cf. the proc backend,
+                    # where the two are distinct instants).
+                    obs.rpc_stage(payload.req_id, "resp_rx", self.sim.now)
                     obs.rpc_stage(payload.req_id, "complete", self.sim.now)
         if payload.context_switch:
             self._enter_idle()

@@ -33,6 +33,9 @@ __all__ = [
     "HEADER_BYTES",
     "MAX_WIRE_BYTES",
     "WIRE_VERSION",
+    "TRACE_EXT_BYTES",
+    "TRACE_TS_BYTES",
+    "TraceContext",
     "RpcRequest",
     "RpcResponse",
     "PoolBinding",
@@ -68,6 +71,60 @@ def wire_size(data_bytes: int) -> int:
     return data_bytes + HEADER_BYTES
 
 
+#: On-wire bytes of the trace-context extension: trace id + span id, two
+#: u64s.  Responses that echo the server's clock stamps for offset
+#: estimation carry :data:`TRACE_TS_BYTES` more.
+TRACE_EXT_BYTES = 16
+TRACE_TS_BYTES = 16
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The optional trace-context wire extension (DESIGN.md section 14).
+
+    Carried behind a flag bit so untraced messages encode byte-identically
+    to builds without the extension.  ``trace_id`` and ``span_id`` are
+    *deterministic* — derived from ``(client_id, req_id)`` by
+    :func:`repro.obs.dist.rpc_trace_id`, never from wall clock or
+    ``os.urandom`` — so two runs with the same inputs mint the same ids.
+
+    On responses, ``ts_a``/``ts_b`` echo the server's dispatch/done clock
+    readings (server clock domain, integer ns): the four-timestamp NTP
+    exchange the client's :class:`repro.net.clock.OffsetEstimator` feeds
+    on, which is what lets the merge collector align per-process shards.
+    """
+
+    trace_id: int
+    span_id: int
+    ts_a: int = 0  #: responses: server clock at dispatch
+    ts_b: int = 0  #: responses: server clock at done
+
+    @property
+    def has_ts(self) -> bool:
+        return bool(self.ts_a or self.ts_b)
+
+    @property
+    def wire_bytes(self) -> int:
+        return TRACE_EXT_BYTES + (TRACE_TS_BYTES if self.has_ts else 0)
+
+    def as_wire(self) -> list:
+        if self.has_ts:
+            return [self.trace_id, self.span_id, self.ts_a, self.ts_b]
+        return [self.trace_id, self.span_id]
+
+    @classmethod
+    def from_wire(cls, raw) -> "TraceContext":
+        if (
+            not isinstance(raw, list)
+            or len(raw) not in (2, 4)
+            or not all(isinstance(v, int) for v in raw)
+        ):
+            raise WireFormatError(f"malformed trace extension: {raw!r}")
+        if len(raw) == 2:
+            return cls(raw[0], raw[1])
+        return cls(raw[0], raw[1], raw[2], raw[3])
+
+
 def layout_in_block(block_base: int, block_size: int, data_bytes: int) -> tuple[int, int]:
     """Right-aligned placement of a message inside its block.
 
@@ -95,10 +152,16 @@ class RpcRequest:
     data_bytes: int = 32
     req_id: int = field(default_factory=next_request_id)
     created_ns: int = 0
+    #: Optional trace-context extension.  Strictly opt-in: the sim path
+    #: never sets it (fixed-seed baselines stay byte-identical), the proc
+    #: path attaches it only while an observer is installed, and
+    #: ``wire_bytes`` charges the extension only when it is present.
+    trace: Optional[TraceContext] = None
 
     @property
     def wire_bytes(self) -> int:
-        return wire_size(self.data_bytes)
+        base = wire_size(self.data_bytes)
+        return base if self.trace is None else base + self.trace.wire_bytes
 
 
 @dataclass(frozen=True)
@@ -129,10 +192,14 @@ class RpcResponse:
     # Piggybacked control information (paper Section 3.3/3.4):
     context_switch: bool = False
     binding: Optional[PoolBinding] = None
+    #: Optional trace-context extension (see :class:`RpcRequest.trace`);
+    #: responses additionally echo the server's clock stamps.
+    trace: Optional[TraceContext] = None
 
     @property
     def wire_bytes(self) -> int:
-        return wire_size(self.data_bytes)
+        base = wire_size(self.data_bytes)
+        return base if self.trace is None else base + self.trace.wire_bytes
 
 
 @dataclass(frozen=True)
@@ -194,6 +261,9 @@ _WIRE_CRC = struct.Struct("!I")
 
 _FLAG_FAILED = 1 << 0
 _FLAG_CONTEXT_SWITCH = 1 << 1
+#: The trace-context extension rides in the tail behind this bit; frames
+#: without it are byte-identical to builds that predate the extension.
+_FLAG_TRACE = 1 << 2
 
 
 class WireFormatError(ValueError):
@@ -257,19 +327,32 @@ def _unpack(data: bytes) -> tuple[int, int, int, int, int, Any]:
     return kind, flags, client_id, req_id, data_bytes, tail_obj
 
 
+def _trace_from_tail(flags: int, tail: dict) -> Optional[TraceContext]:
+    if not flags & _FLAG_TRACE:
+        return None
+    if "trace" not in tail:
+        raise WireFormatError("trace flag set but no trace extension in tail")
+    return TraceContext.from_wire(tail["trace"])
+
+
 def encode_request(request: RpcRequest) -> bytes:
     """Encode one :class:`RpcRequest` to its deterministic wire form."""
+    flags = _FLAG_TRACE if request.trace is not None else 0
+    tail: dict[str, Any] = {
+        "rpc_type": request.rpc_type, "payload": request.payload,
+        "created_ns": request.created_ns,
+    }
+    if request.trace is not None:
+        tail["trace"] = request.trace.as_wire()
     return _pack(
-        _KIND_REQUEST, 0, request.client_id, request.req_id,
-        request.data_bytes,
-        {"rpc_type": request.rpc_type, "payload": request.payload,
-         "created_ns": request.created_ns},
+        _KIND_REQUEST, flags, request.client_id, request.req_id,
+        request.data_bytes, tail,
     )
 
 
 def decode_request(data: bytes) -> RpcRequest:
     """Decode a request frame; raises :exc:`WireFormatError` if invalid."""
-    kind, _flags, client_id, req_id, data_bytes, tail = _unpack(data)
+    kind, flags, client_id, req_id, data_bytes, tail = _unpack(data)
     if kind != _KIND_REQUEST:
         raise WireFormatError(f"expected a request frame, got kind {kind}")
     try:
@@ -280,6 +363,7 @@ def decode_request(data: bytes) -> RpcRequest:
             data_bytes=data_bytes,
             req_id=req_id,
             created_ns=tail["created_ns"],
+            trace=_trace_from_tail(flags, tail),
         )
     except (KeyError, TypeError) as exc:
         raise WireFormatError(f"malformed request tail: {exc}") from None
@@ -295,6 +379,9 @@ def encode_response(response: RpcResponse) -> bytes:
     if binding is not None:
         tail["binding"] = [binding.pool_base, binding.slot_base,
                            binding.slot_bytes, binding.epoch, binding.seq]
+    if response.trace is not None:
+        flags |= _FLAG_TRACE
+        tail["trace"] = response.trace.as_wire()
     return _pack(_KIND_RESPONSE, flags, response.client_id,
                  response.req_id, response.data_bytes, tail)
 
@@ -316,6 +403,7 @@ def decode_response(data: bytes) -> RpcResponse:
             failed=bool(flags & _FLAG_FAILED),
             context_switch=bool(flags & _FLAG_CONTEXT_SWITCH),
             binding=binding,
+            trace=_trace_from_tail(flags, tail),
         )
     except (KeyError, TypeError) as exc:
         raise WireFormatError(f"malformed response tail: {exc}") from None

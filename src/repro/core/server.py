@@ -365,6 +365,10 @@ class ScaleRpcServer(RpcServerApi):
     def _route(self, item: _WorkItem) -> None:
         obs = self.node.fabric.obs
         if obs is not None:
+            # req_rx coincides with dispatch here: the simulated server
+            # has no decode step, so frame arrival and routing are the
+            # same instant (the proc backend separates them).
+            obs.rpc_stage(item.request.req_id, "req_rx", self.sim.now)
             obs.rpc_stage(item.request.req_id, "dispatch", self.sim.now)
         self._worker_stores[item.slot % len(self._worker_stores)].put(item)
 

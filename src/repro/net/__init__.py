@@ -25,7 +25,7 @@ Construction goes through the same registry seam as the simulator::
     server = topo.build_server("scalerpc", handler)   # a ProcRpcServer
 """
 
-from .clock import Clock
+from .clock import Clock, OffsetEstimator, estimate_offset
 from .framing import FrameDecoder, FramingError, encode_frame
 from .procserver import ProcRpcClient, ProcRpcServer, ProcServerStats
 from .runner import ProcWorkload, ProcWorkloadResult, run_proc_workload
@@ -38,6 +38,8 @@ from .transport import (
 
 __all__ = [
     "Clock",
+    "OffsetEstimator",
+    "estimate_offset",
     "FrameDecoder",
     "FramingError",
     "ProcRpcClient",

@@ -37,7 +37,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result summary as JSON to PATH")
     parser.add_argument("--obs-dir", metavar="DIR",
-                        help="export every worker's obs artifact to DIR")
+                        help="export every worker's obs shard to DIR "
+                             "(merge with: python -m repro.obs merge DIR)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="run without observers (zero-telemetry baseline)")
+    parser.add_argument("--clock-skew-ns", type=int, default=0,
+                        help="inject a constant client clock skew (merge tests)")
     args = parser.parse_args(argv)
 
     get(args.transport)  # fail fast, listing registered names
@@ -48,7 +53,9 @@ def main(argv: list[str] | None = None) -> int:
         batch_size=args.batch,
         data_bytes=args.data_bytes,
         timeout_s=args.timeout,
+        obs_enabled=not args.no_obs,
         obs_export_dir=args.obs_dir,
+        client_skew_ns=args.clock_skew_ns,
     )
     result = run_proc_workload(workload)
     summary = result.as_dict()
@@ -60,6 +67,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  wall: {result.wall_ns / 1e6:.2f} ms   "
           f"throughput: {result.throughput_mops * 1e3:.1f} Kops/s   "
           f"reconnects: {result.reconnects}")
+    rtt = result.rtt_summary
+    print(f"  rtt: p50 {rtt['p50'] / 1e3:.1f} us  p99 {rtt['p99'] / 1e3:.1f} us "
+          f"over {rtt['n']} rpcs")
     print(f"  obs: {result.obs_spans} spans, {result.obs_rpcs} rpc timelines "
           f"across {1 + workload.n_clients} workers")
     if args.json:

@@ -9,10 +9,15 @@ deterministic wire format of :mod:`repro.core.message`, and the "fabric"
 is a TCP stream per client (:mod:`repro.net.transport`).
 
 Observability reuses :mod:`repro.obs` unchanged: the client emits the
-``post`` / ``complete`` lifecycle stages and the server emits
-``dispatch`` / ``exec`` / ``done`` plus per-RPC server spans, exactly the
-stage names the sim path emits, so the critical-path tooling reads both
-backends' artifacts.
+``post`` / ``resp_rx`` / ``complete`` lifecycle stages and the server
+emits ``req_rx`` / ``dispatch`` / ``exec`` / ``done`` plus per-RPC
+server spans, exactly the stage names the sim path emits, so the
+critical-path tooling reads both backends' artifacts.  While an observer
+is installed, every request additionally carries the deterministic
+trace-context wire extension (DESIGN.md section 14); the server echoes
+it with its dispatch/done clock stamps, which feed the client's
+:class:`~repro.net.clock.OffsetEstimator` so per-process shards can be
+clock-aligned and merged into one distributed trace.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from ..core.interface import CallHandle, RpcCallerInterface, RpcServiceInterface
 from ..core.message import (
     RpcRequest,
     RpcResponse,
+    TraceContext,
     WireFormatError,
     decode_request,
     decode_response,
@@ -32,8 +38,9 @@ from ..core.message import (
     encode_response,
 )
 from ..obs import Observer
+from ..obs.dist import rpc_trace_id, span_id
 from ..transport.topology import Endpoint
-from .clock import Clock
+from .clock import Clock, OffsetEstimator
 from .transport import (
     ServerConnection,
     StreamClientTransport,
@@ -129,14 +136,19 @@ class ProcRpcServer(RpcServiceInterface):
 
     async def _on_frame(self, connection: ServerConnection, body: bytes) -> None:
         obs = self.obs
+        received = self.clock.now()  # frame arrival, before decode
         try:
             request = decode_request(body)
         except WireFormatError:
             self.stats.decode_errors += 1
             return  # reject the frame; the stream itself is still framed
         key = (request.client_id, request.req_id)
+        trace = request.trace
         dispatched = self.clock.now()
         if obs is not None:
+            if trace is not None:
+                obs.rpc_trace(key, trace.trace_id)
+            obs.rpc_stage(key, "req_rx", received)
             obs.rpc_stage(key, "dispatch", dispatched)
             obs.rpc_stage(key, "exec", dispatched)
         try:
@@ -146,14 +158,27 @@ class ProcRpcServer(RpcServiceInterface):
             result = f"{type(exc).__name__}: {exc}"
             failed = True
             self.stats.failed += 1
+        done = self.clock.now()
+        # Echo the trace context whenever the request carried one — even
+        # with no server observer installed: the dispatch/done stamps are
+        # what the *client's* OffsetEstimator feeds on, so clock sync
+        # must not depend on server-side telemetry being enabled.
+        echo = None
+        if trace is not None:
+            echo = TraceContext(
+                trace_id=trace.trace_id,
+                span_id=span_id(trace.trace_id, "server"),
+                ts_a=dispatched,
+                ts_b=done,
+            )
         response = RpcResponse(
             req_id=request.req_id,
             client_id=request.client_id,
             payload=result,
             data_bytes=self._response_bytes(request, result),
             failed=failed,
+            trace=echo,
         )
-        done = self.clock.now()
         if obs is not None:
             obs.rpc_stage(key, "done", done)
             obs.span(
@@ -201,6 +226,13 @@ class ProcRpcClient(RpcCallerInterface):
         self.clock = clock or Clock()
         self.transport = StreamClientTransport(
             endpoint, max_attempts=max_attempts, backoff_s=backoff_s
+        )
+        #: Four-timestamp clock-sync samples against the server (fed by
+        #: traced responses); its summary goes into the shard meta so the
+        #: merge collector can shift this process into the server domain.
+        self.offset_estimator = OffsetEstimator()
+        self._rtt_hist = (
+            obs.metrics.histogram("rpc.rtt_ns") if obs is not None else None
         )
         self.completed = 0
         self._outstanding: dict[int, CallHandle] = {}
@@ -271,6 +303,14 @@ class ProcRpcClient(RpcCallerInterface):
         )
         self._outstanding[request.req_id] = handle
         if self.obs is not None:
+            # Trace context is strictly observer-gated: with obs off the
+            # request encodes byte-identically to the pre-extension wire
+            # format (zero overhead; the CI guard asserts this).
+            trace_id = rpc_trace_id(self.client_id, request.req_id)
+            request.trace = TraceContext(
+                trace_id=trace_id, span_id=span_id(trace_id, "client")
+            )
+            self.obs.rpc_trace(request.req_id, trace_id)
             self.obs.rpc_stage(request.req_id, "post", now)
         self.transport.send(encode_request(request))
         return handle
@@ -307,6 +347,7 @@ class ProcRpcClient(RpcCallerInterface):
                 if not await self._recover():
                     return
                 continue
+            received = self.clock.now()  # frame arrival, before decode
             try:
                 response = decode_response(body)
             except WireFormatError:
@@ -319,8 +360,23 @@ class ProcRpcClient(RpcCallerInterface):
             if not handle.event.done():
                 handle.event.set_result(response)
             self.completed += 1
+            trace = response.trace
+            if trace is not None and trace.has_ts:
+                # The full NTP four-timestamp exchange: (post, dispatch,
+                # done, complete), the middle pair in the server's clock.
+                self.offset_estimator.add_sample(
+                    handle.posted_ns, trace.ts_a, trace.ts_b,
+                    handle.completed_ns,
+                )
             if self.obs is not None:
-                self.obs.rpc_stage(response.req_id, "complete", handle.completed_ns)
+                self.obs.rpc_stage(response.req_id, "resp_rx", received)
+                self.obs.rpc_stage(
+                    response.req_id, "complete", handle.completed_ns
+                )
+                if self._rtt_hist is not None:
+                    self._rtt_hist.record(
+                        handle.completed_ns - handle.posted_ns
+                    )
 
     async def _recover(self) -> bool:
         """The connection broke: reconnect (bounded) and repost what was

@@ -34,14 +34,28 @@ class ProcWorkload:
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; the server reports the bound port
     timeout_s: float = 60.0
-    #: Export every worker's obs artifact as JSONL into this directory.
+    #: Run workers with observers (tracing) at all.  Off = the
+    #: zero-telemetry baseline the perf gate compares against.
+    obs_enabled: bool = True
+    #: Export every worker's obs artifact as a JSONL shard into this
+    #: directory (one file per process; ``python -m repro.obs merge``
+    #: combines them).
     obs_export_dir: Optional[str] = None
+    #: Deterministic clock displacement injected into every client
+    #: (merge/alignment tests; see :mod:`repro.net.clock`).
+    client_skew_ns: int = 0
+    client_drift_ppm: int = 0
 
     def __post_init__(self):
         if self.n_clients < 1 or self.ops_per_client < 1 or self.batch_size < 1:
             raise ValueError("n_clients, ops_per_client, batch_size must be >= 1")
         if self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if self.obs_export_dir is not None and not self.obs_enabled:
+            raise ValueError(
+                "obs_export_dir requires obs_enabled=True "
+                "(workers without observers produce no shards)"
+            )
 
     @property
     def requested_ops(self) -> int:
@@ -85,6 +99,23 @@ class ProcWorkloadResult:
         artifacts = [self.server.get("obs")] + [c.get("obs") for c in self.clients]
         return sum(len(a["rpcs"]) for a in artifacts if a is not None)
 
+    @property
+    def rtt_summary(self) -> dict:
+        """Pooled per-RPC round-trip percentiles across every client
+        (exact: computed over the concatenated sorted samples, not by
+        averaging per-client percentiles)."""
+        rtts = sorted(
+            value for c in self.clients for value in c.get("rtt_ns_sorted", [])
+        )
+        if not rtts:
+            return {"n": 0, "p50": 0, "p99": 0, "max": 0}
+
+        def pct(p: float) -> int:
+            rank = max(1, -(-int(p * len(rtts)) // 100))
+            return rtts[rank - 1]
+
+        return {"n": len(rtts), "p50": pct(50), "p99": pct(99), "max": rtts[-1]}
+
     def as_dict(self) -> dict:
         return {
             "transport": self.workload.transport,
@@ -96,9 +127,12 @@ class ProcWorkloadResult:
             "reconnects": self.reconnects,
             "obs_spans": self.obs_spans,
             "obs_rpcs": self.obs_rpcs,
+            "rtt_ns": self.rtt_summary,
             "server": {k: v for k, v in self.server.items() if k != "obs"},
             "clients": [
-                {k: v for k, v in c.items() if k != "obs"} for c in self.clients
+                {k: v for k, v in c.items()
+                 if k not in ("obs", "rtt_ns_sorted")}
+                for c in self.clients
             ],
         }
 
@@ -143,9 +177,11 @@ async def _spawn(role_args: list[str]) -> asyncio.subprocess.Process:
 async def _run(workload: ProcWorkload) -> ProcWorkloadResult:
     procs: list[asyncio.subprocess.Process] = []
     try:
+        no_obs = [] if workload.obs_enabled else ["--no-obs"]
         server = await _spawn([
             "server", "--transport", workload.transport,
             "--host", workload.host, "--port", str(workload.port),
+            *no_obs,
         ])
         procs.append(server)
         ready = await _read_json_line(server.stdout, "readiness")
@@ -159,6 +195,9 @@ async def _run(workload: ProcWorkload) -> ProcWorkloadResult:
                 "--ops", str(workload.ops_per_client),
                 "--batch", str(workload.batch_size),
                 "--data-bytes", str(workload.data_bytes),
+                "--clock-skew-ns", str(workload.client_skew_ns),
+                "--clock-drift-ppm", str(workload.client_drift_ppm),
+                *no_obs,
             ])
             procs.append(client)
             clients.append(client)

@@ -15,9 +15,14 @@ Protocol with the parent, line-oriented JSON on stdout:
 - a client runs its closed-loop batched workload to completion, prints
   ``{"result": {...}}``, and exits.
 
-Both roles carry a :class:`repro.obs.Observer` and include the finished
-artifact in their result, so the parent can export the same JSONL /
-Perfetto traces the sim backend produces.
+Both roles carry a :class:`repro.obs.Observer` (unless ``--no-obs``) and
+include the finished artifact in their result, so the parent can export
+per-process JSONL shards that ``python -m repro.obs merge`` clock-aligns
+into one distributed Perfetto trace.  Client shards embed their
+:class:`~repro.net.clock.OffsetEstimator` summary as
+``meta["clock_sync"]``; ``--clock-skew-ns`` / ``--clock-drift-ppm``
+deterministically displace a client's clock domain so the merge tests
+can prove alignment recovers a known skew.
 """
 
 from __future__ import annotations
@@ -29,9 +34,17 @@ import sys
 
 from ..obs import Observer
 from ..transport import Endpoint, get
+from .clock import Clock
 from .procserver import ProcRpcClient
 
 __all__ = ["main"]
+
+
+def _percentile(sorted_values: list, p: float) -> int:
+    if not sorted_values:
+        return 0
+    rank = max(1, -(-int(p * len(sorted_values)) // 100))
+    return sorted_values[rank - 1]
 
 
 def _echo_handler(request):
@@ -40,7 +53,7 @@ def _echo_handler(request):
 
 
 async def _serve(args) -> dict:
-    obs = Observer(meta={
+    obs = None if args.no_obs else Observer(meta={
         "backend": "proc", "role": "server", "transport": args.transport,
     })
     server = get(args.transport).build_server(
@@ -66,21 +79,26 @@ async def _serve(args) -> dict:
         "failed": server.stats.failed,
         "decode_errors": server.stats.decode_errors,
         "connections": server.connections,
-        "obs": obs.finish(),
+        "obs": obs.finish() if obs is not None else None,
     }
 
 
 async def _run_client(args) -> dict:
-    obs = Observer(meta={
+    obs = None if args.no_obs else Observer(meta={
         "backend": "proc", "role": "client", "client_id": args.client_id,
     })
+    # skew/drift are deterministic test-injection knobs: they displace
+    # this process's clock domain so the merge tests can prove alignment
+    # recovers a known offset (see repro.net.clock).
+    clock = Clock(skew_ns=args.clock_skew_ns, drift_ppm=args.clock_drift_ppm)
     client = ProcRpcClient(
         Endpoint(args.host, args.port), client_id=args.client_id, obs=obs,
+        clock=clock,
     )
     await client.connect()
     try:
-        clock = client.clock
         latencies: list[int] = []
+        rtts: list[int] = []
         started = clock.now()
         remaining = args.ops
         while remaining > 0:
@@ -95,11 +113,22 @@ async def _run_client(args) -> dict:
             await client.flush()
             await client.poll_completions(handles)
             latencies.append(clock.now() - batch_start)
+            for handle in handles:
+                rtts.append(handle.completed_ns - handle.posted_ns)
             remaining -= batch
+            if obs is not None:
+                # One metrics epoch per batch: the proc analogue of the
+                # sim's epoch sampler, feeding the same series shape.
+                obs.metrics.sample(clock.now())
         wall_ns = clock.now() - started
     finally:
         await client.close()
+    if obs is not None:
+        # The shard must carry its own clock-sync summary: the merge
+        # collector has no other way into this process's clock domain.
+        obs.meta["clock_sync"] = client.offset_estimator.as_dict()
     latencies.sort()
+    rtts.sort()
     return {
         "role": "client",
         "client_id": args.client_id,
@@ -111,7 +140,15 @@ async def _run_client(args) -> dict:
             "median": latencies[len(latencies) // 2] if latencies else 0,
             "max": latencies[-1] if latencies else 0,
         },
-        "obs": obs.finish(),
+        "rtt_ns": {
+            "n": len(rtts),
+            "p50": _percentile(rtts, 50),
+            "p99": _percentile(rtts, 99),
+            "max": rtts[-1] if rtts else 0,
+        },
+        "rtt_ns_sorted": rtts,
+        "clock_sync": client.offset_estimator.as_dict(),
+        "obs": obs.finish() if obs is not None else None,
     }
 
 
@@ -125,6 +162,8 @@ def main(argv: list[str] | None = None) -> int:
     server.add_argument("--transport", default="scalerpc")
     server.add_argument("--host", default="127.0.0.1")
     server.add_argument("--port", type=int, default=0)
+    server.add_argument("--no-obs", action="store_true",
+                        help="run without an observer (zero-telemetry baseline)")
     client = sub.add_parser("client", help="run the closed-loop workload")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, required=True)
@@ -132,6 +171,12 @@ def main(argv: list[str] | None = None) -> int:
     client.add_argument("--ops", type=int, default=50)
     client.add_argument("--batch", type=int, default=4)
     client.add_argument("--data-bytes", type=int, default=32)
+    client.add_argument("--no-obs", action="store_true",
+                        help="run without an observer (zero-telemetry baseline)")
+    client.add_argument("--clock-skew-ns", type=int, default=0,
+                        help="inject a constant clock skew (merge tests)")
+    client.add_argument("--clock-drift-ppm", type=int, default=0,
+                        help="inject clock drift in ppm (merge tests)")
     args = parser.parse_args(argv)
 
     if args.role == "server":

@@ -18,10 +18,28 @@ The single owner of trace records in this repository (DESIGN.md section 9):
 ``repro.sim.trace`` remains as the minimal in-memory tracer the fabric
 always carries; when an :class:`Observer` is installed its records (and
 its ``dropped`` count) are folded into the obs artifact at ``finish()``.
+
+Distributed extensions (DESIGN.md section 14): :mod:`repro.obs.dist`
+merges the proc backend's per-process shards into one clock-aligned
+Perfetto trace with cross-process flow events (``python -m repro.obs
+merge``), :mod:`repro.obs.hist` adds HDR-style latency histograms and
+``detect_anomaly``, and :mod:`repro.obs.perfdb` keeps the committed
+``BENCH_history.jsonl`` perf trajectory with a noise-aware regression
+gate (``python -m repro.obs perfdb``).
 """
 
 from .core import Observer, current
 from .critical import StageBreakdown, Cliff, detect_cliff, stage_breakdown
+from .dist import (
+    MergeError,
+    MergedTrace,
+    merge_dir,
+    merge_shards,
+    load_shards,
+    rpc_trace_id,
+    span_id,
+    format_trace_id,
+)
 from .export import (
     load_jsonl,
     to_chrome_trace,
@@ -29,6 +47,7 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .hist import Anomaly, LogHistogram, detect_anomaly
 from .metrics import MetricsRegistry
 
 __all__ = [
@@ -44,4 +63,15 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "MergeError",
+    "MergedTrace",
+    "merge_dir",
+    "merge_shards",
+    "load_shards",
+    "rpc_trace_id",
+    "span_id",
+    "format_trace_id",
+    "LogHistogram",
+    "Anomaly",
+    "detect_anomaly",
 ]

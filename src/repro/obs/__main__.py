@@ -1,20 +1,31 @@
-"""CLI: summarize an obs artifact.
+"""CLI: summarize, merge, and gate obs artifacts.
 
-    python -m repro.obs run.jsonl
-    python -m repro.obs run.jsonl --percentile 99 --top 8
-    python -m repro.obs run.jsonl --chrome run.trace.json
+    python -m repro.obs summary run.jsonl [--chrome out.trace.json]
+    python -m repro.obs merge SHARD_DIR --out merged.trace.json
+    python -m repro.obs perfdb check BENCH_history.jsonl entry.json
+    python -m repro.obs perfdb append BENCH_history.jsonl entry.json
 
-Prints run metadata (including every drop counter), the critical-path
-breakdown of tail latency, and cliff detection over each epoch series;
-``--chrome`` additionally exports a Perfetto-loadable trace.
+``summary`` prints run metadata (including every drop counter), the
+critical-path breakdown of tail latency, and cliff detection over each
+epoch series.  ``merge`` clock-aligns the per-process shards a proc run
+exported and writes one Perfetto trace with cross-process flow events.
+``perfdb`` checks (or appends) a benchmark entry against the committed
+perf trajectory.
+
+The bare legacy form ``python -m repro.obs run.jsonl`` still works and
+is equivalent to ``summary``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 
 from .critical import detect_cliff, stage_breakdown
+from .dist import MergeError, merge_dir, write_merged_chrome_trace
 from .export import load_jsonl, to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .perfdb import append_entry, check_entry, load_history
 
 
 def _fmt_ns(ns: float) -> str:
@@ -25,21 +36,7 @@ def _fmt_ns(ns: float) -> str:
     return f"{ns:.0f} ns"
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.obs", description="Summarize an obs JSONL artifact."
-    )
-    parser.add_argument("artifact", help="path to a JSONL artifact")
-    parser.add_argument("--percentile", type=float, default=99.0,
-                        help="tail percentile for the breakdown (default 99)")
-    parser.add_argument("--top", type=int, default=8,
-                        help="stages to show in the breakdown (default 8)")
-    parser.add_argument("--drop", type=float, default=0.3,
-                        help="relative drop that counts as a cliff (default 0.3)")
-    parser.add_argument("--chrome", metavar="OUT",
-                        help="also export a Chrome trace-event JSON file")
-    args = parser.parse_args(argv)
-
+def _cmd_summary(args) -> int:
     artifact = load_jsonl(args.artifact)
     meta = artifact["meta"]
 
@@ -61,7 +58,11 @@ def main(argv=None) -> int:
 
     cliffed = False
     for series in artifact["series"]:
-        cliff = detect_cliff(series["points"], drop=args.drop)
+        points = [
+            [ts, v] for ts, v in series["points"]
+            if not isinstance(v, dict)
+        ]
+        cliff = detect_cliff(points, drop=args.drop)
         if cliff is not None:
             cliffed = True
             print(f"\ncliff in {series['name']}: {cliff.before:.4g} -> "
@@ -79,6 +80,114 @@ def main(argv=None) -> int:
             print(f"  {problem}")
         return 1 if problems else 0
     return 0
+
+
+def _cmd_merge(args) -> int:
+    try:
+        merged = merge_dir(args.shard_dir)
+    except MergeError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    meta = merged.artifact["meta"]
+    print(f"merged {meta['merged_from']} shards from {args.shard_dir}: "
+          f"{meta['joined_rpcs']} traced RPCs, "
+          f"{meta['cross_process_rpcs']} joined across processes")
+    for shard, offset in zip(meta["shards"], meta["offsets_ns"]):
+        who = shard["role"]
+        if shard.get("client_id") is not None:
+            who = f"{who} {shard['client_id']}"
+        drops = shard["dropped"] + shard["rpc_dropped"]
+        note = f", {drops} dropped" if drops else ""
+        print(f"  {who}: clock offset {offset:+,} ns{note}")
+    problems = write_merged_chrome_trace(merged, args.out)
+    if problems:
+        print(f"wrote {args.out} with {len(problems)} problems:",
+              file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"wrote Perfetto trace (valid): {args.out}")
+    if args.artifact_out:
+        with open(args.artifact_out, "w") as fh:
+            json.dump(merged.artifact, fh, sort_keys=True)
+        print(f"wrote merged artifact: {args.artifact_out}")
+    return 0
+
+
+def _cmd_perfdb(args) -> int:
+    history = load_history(args.history)
+    with open(args.entry) as fh:
+        entry = json.load(fh)
+    if args.action == "append":
+        append_entry(args.history, entry)
+        print(f"appended entry {entry.get('label')!r} to {args.history} "
+              f"({len(history) + 1} entries)")
+        return 0
+    regressions = check_entry(
+        history, entry, window=args.window,
+        budgets={"fig8_wall_s": args.budget} if args.budget else None,
+    )
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression.describe()}", file=sys.stderr)
+        return 1
+    print(f"perfdb gate passed against {min(len(history), args.window)} "
+          f"history entries")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, merge, and gate obs artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_summary = sub.add_parser("summary", help="summarize one JSONL artifact")
+    p_summary.add_argument("artifact", help="path to a JSONL artifact")
+    p_summary.add_argument("--percentile", type=float, default=99.0,
+                           help="tail percentile for the breakdown (default 99)")
+    p_summary.add_argument("--top", type=int, default=8,
+                           help="stages to show in the breakdown (default 8)")
+    p_summary.add_argument("--drop", type=float, default=0.3,
+                           help="relative drop that counts as a cliff (default 0.3)")
+    p_summary.add_argument("--chrome", metavar="OUT",
+                           help="also export a Chrome trace-event JSON file")
+
+    p_merge = sub.add_parser(
+        "merge", help="merge per-process shards into one Perfetto trace"
+    )
+    p_merge.add_argument("shard_dir", help="directory of *.obs.jsonl shards")
+    p_merge.add_argument("--out", default="merged.trace.json",
+                         help="merged Perfetto trace path")
+    p_merge.add_argument("--artifact-out", default=None,
+                         help="also write the merged artifact JSON here")
+
+    p_perfdb = sub.add_parser(
+        "perfdb", help="check or append a perf-history entry"
+    )
+    p_perfdb.add_argument("action", choices=("check", "append"))
+    p_perfdb.add_argument("history", help="path to BENCH_history.jsonl")
+    p_perfdb.add_argument("entry", help="path to one entry JSON")
+    p_perfdb.add_argument("--window", type=int, default=8,
+                          help="history entries to gate against (default 8)")
+    p_perfdb.add_argument("--budget", type=float, default=None,
+                          help="override the fig8_wall_s budget fraction")
+
+    # Legacy form: a bare artifact path means "summary".
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] not in ("summary", "merge", "perfdb", "-h", "--help"):
+        argv.insert(0, "summary")
+    args = parser.parse_args(argv)
+
+    if args.command == "merge":
+        return _cmd_merge(args)
+    if args.command == "perfdb":
+        return _cmd_perfdb(args)
+    if args.command == "summary":
+        return _cmd_summary(args)
+    parser.print_help()
+    return 2
 
 
 if __name__ == "__main__":

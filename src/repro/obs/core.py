@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional
 
+from .dist import format_trace_id
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -53,6 +54,7 @@ class Observer:
         self.spans: list[tuple] = []  # (track, name, start_ns, end_ns, args|None)
         self.instants: list[tuple] = []  # (track, name, ts_ns, args|None)
         self._rpcs: dict[int, list] = {}  # req_id -> [(stage, ts_ns, extra|None)]
+        self._rpc_traces: dict = {}  # req_id -> 64-bit distributed trace id
         self.dropped = 0
         self.rpc_dropped = 0
         self.metrics = MetricsRegistry()
@@ -120,6 +122,17 @@ class Observer:
             stages = self._rpcs[req_id] = []
         stages.append((stage, ts_ns, extra))
 
+    def rpc_trace(self, req_id: int, trace_id: int) -> None:
+        """Attach a distributed trace id to an RPC's timeline.
+
+        The dense-id remap in :meth:`finish` deliberately erases raw
+        ``req_id`` values, so this is the only way an RPC record stays
+        joinable across per-process shards — the merge collector
+        (:mod:`repro.obs.dist`) correlates client and server timelines
+        by this id.
+        """
+        self._rpc_traces[req_id] = trace_id
+
     # -- artifact ----------------------------------------------------------
 
     def finish(self) -> dict:
@@ -148,14 +161,34 @@ class Observer:
         # process-global counter, so raw values differ between two runs in
         # the same interpreter even though the run itself is identical.
         rpcs = []
-        for index, stages in enumerate(self._rpcs.values()):
-            rpcs.append({
+        for index, (req_id, stages) in enumerate(self._rpcs.items()):
+            record = {
                 "id": index,
                 "stages": [
                     [stage, ts] if extra is None else [stage, ts, extra]
                     for stage, ts, extra in stages
                 ],
-            })
+            }
+            trace = self._rpc_traces.get(req_id)
+            if trace is not None:
+                record["trace"] = format_trace_id(trace)
+            rpcs.append(record)
+        # Drops are part of the trace itself, not just run notes: a
+        # truncated artifact carries a visible marker the Perfetto
+        # exporter renders as its own track.
+        total_dropped = (
+            self.dropped + self.rpc_dropped + meta.get("tracer_dropped", 0)
+        )
+        if total_dropped:
+            instants.append(_instant_record(
+                "obs.drops", "tracer.dropped", self.now(),
+                {
+                    "count": total_dropped,
+                    "records": self.dropped,
+                    "rpcs": self.rpc_dropped,
+                    "tracer": meta.get("tracer_dropped", 0),
+                },
+            ))
         return {
             "meta": meta,
             "spans": [

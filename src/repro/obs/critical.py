@@ -26,17 +26,23 @@ __all__ = [
 ]
 
 #: Canonical lifecycle order (request out, server, response back).
+#: ``req_rx``/``resp_rx`` mark frame arrival before decode — in the
+#: simulation decode is free so they coincide with dispatch/complete,
+#: but the proc backend separates them, which is what lets the merged
+#: distributed trace attribute deserialization time.
 STAGE_ORDER = (
     "post",
     "req_tx",
     "req_wire",
     "req_dma",
+    "req_rx",
     "dispatch",
     "exec",
     "done",
     "resp_tx",
     "resp_wire",
     "resp_dma",
+    "resp_rx",
     "complete",
 )
 

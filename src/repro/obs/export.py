@@ -96,15 +96,33 @@ def to_chrome_trace(artifact: dict) -> dict:
         if "args" in span:
             event["args"] = span["args"]
         events.append(event)
+    drops_marked = False
     for inst in artifact["instants"]:
+        # Drop markers render globally (full-height line in Perfetto) so
+        # a truncated trace is impossible to mistake for a complete one.
+        global_marker = inst["track"] == "obs.drops"
+        drops_marked = drops_marked or global_marker
         event = {
             "ph": "i", "pid": _PID, "tid": tid(inst["track"]),
             "name": inst["name"], "cat": "obs",
-            "ts": _ts_us(inst["ts"]), "s": "t",
+            "ts": _ts_us(inst["ts"]), "s": "g" if global_marker else "t",
         }
         if "args" in inst:
             event["args"] = inst["args"]
         events.append(event)
+    # Artifacts written before drops became first-class records (or
+    # assembled by hand) still get the marker, synthesized from meta.
+    meta = artifact["meta"]
+    meta_drops = (
+        meta.get("dropped", 0) + meta.get("rpc_dropped", 0)
+        + meta.get("tracer_dropped", 0)
+    )
+    if meta_drops and not drops_marked:
+        events.append({
+            "ph": "i", "pid": _PID, "tid": tid("obs.drops"),
+            "name": "tracer.dropped", "cat": "obs", "ts": 0.0, "s": "g",
+            "args": {"count": meta_drops},
+        })
     # RPC stage timelines as async spans: consecutive stages bound the
     # time spent in the earlier stage, and async events tolerate the
     # overlap between concurrent RPCs that thread slices cannot.
@@ -124,9 +142,17 @@ def to_chrome_trace(artifact: dict) -> dict:
         for ts, value in series["points"]:
             if value is None:
                 continue
+            # Histogram series carry dict-valued points (count/p50/...):
+            # each numeric key becomes one line on the counter track.
+            if isinstance(value, dict):
+                args = {k: v for k, v in value.items() if v is not None}
+                if not args:
+                    continue
+            else:
+                args = {"value": value}
             events.append({
                 "ph": "C", "pid": _PID, "tid": 0, "name": series["name"],
-                "ts": _ts_us(ts), "args": {"value": value},
+                "ts": _ts_us(ts), "args": args,
             })
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
@@ -138,7 +164,7 @@ def write_chrome_trace(artifact: dict, path) -> None:
 
 
 #: Phases we emit; validation also accepts the instant-scope field values.
-_KNOWN_PHASES = {"M", "X", "i", "C", "b", "n", "e"}
+_KNOWN_PHASES = {"M", "X", "i", "C", "b", "n", "e", "s", "t", "f"}
 _INSTANT_SCOPES = {"g", "p", "t"}
 
 
@@ -153,6 +179,8 @@ def validate_chrome_trace(trace: dict) -> list[str]:
     if not isinstance(events, list):
         return ["traceEvents missing or not a list"]
     open_async: dict[tuple, int] = {}
+    flow_starts: dict[tuple, float] = {}  # (cat, id) -> start ts
+    flow_ended: set = set()
     for i, ev in enumerate(events):
         where = f"event {i}"
         if not isinstance(ev, dict):
@@ -197,7 +225,33 @@ def validate_chrome_trace(trace: dict) -> list[str]:
                         problems.append(f"{where}: async end without begin {key}")
                     else:
                         open_async[key] -= 1
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev or "cat" not in ev:
+                problems.append(f"{where}: flow event needs id and cat")
+                continue
+            key = (ev["cat"], ev["id"])
+            ts = ev.get("ts")
+            if ph == "s":
+                if key in flow_starts:
+                    problems.append(f"{where}: duplicate flow start {key}")
+                if isinstance(ts, (int, float)):
+                    flow_starts[key] = ts
+            else:
+                start = flow_starts.get(key)
+                if key not in flow_starts:
+                    problems.append(f"{where}: flow {ph!r} without start {key}")
+                elif isinstance(ts, (int, float)) and ts < start:
+                    # Causality: a flow arrow must point forward in time.
+                    problems.append(
+                        f"{where}: flow {key} points backward in time"
+                        f" ({start} -> {ts})"
+                    )
+                if ph == "f":
+                    flow_ended.add(key)
     for key, count in open_async.items():
         if count:
             problems.append(f"async begin without end: {key}")
+    for key in flow_starts:
+        if key not in flow_ended:
+            problems.append(f"flow start without finish: {key}")
     return problems

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim.engine import NS_PER_S
+from .hist import LogHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
@@ -117,6 +118,29 @@ class _FnRatioSeries:
         self.points.append([ts, dn / dd if dd else None])
 
 
+class _HistogramSeries:
+    """Cumulative percentile snapshots of a :class:`LogHistogram`.
+
+    Each epoch point is ``[ts, {"count", "p50", "p99", "p999"}]`` — a
+    dict-valued point the Chrome exporter fans out into per-key counter
+    tracks, and whose per-key ``[[ts, value], ...]`` projections feed
+    :func:`repro.obs.hist.detect_anomaly` directly.
+    """
+
+    def __init__(self, hist: LogHistogram):
+        self.hist = hist
+        self.points: list[list] = []
+
+    def sample(self, ts: int, epoch_ns: int) -> None:
+        h = self.hist
+        self.points.append([ts, {
+            "count": h.total,
+            "p50": h.percentile(50),
+            "p99": h.percentile(99),
+            "p999": h.percentile(99.9),
+        }])
+
+
 class MetricsRegistry:
     """Named metrics plus the epoch sampler that turns them into series."""
 
@@ -158,6 +182,22 @@ class MetricsRegistry:
         """Register the per-epoch delta ratio of two cumulative callables."""
         self._series[name] = _FnRatioSeries(num_fn, den_fn)
 
+    def histogram(self, name: str, sub_bits: int = 4) -> LogHistogram:
+        """Get-or-create a log-bucketed latency histogram.
+
+        Hooks ``record()`` values into the returned histogram; each
+        epoch snapshots cumulative count/p50/p99/p999, and the full
+        bucket table is exported with the series record.
+        """
+        series = self._series.get(name)
+        if isinstance(series, _HistogramSeries):
+            return series.hist
+        if series is not None:
+            raise ValueError(f"metric {name!r} already exists and is not a histogram")
+        hist = LogHistogram(sub_bits=sub_bits)
+        self._series[name] = _HistogramSeries(hist)
+        return hist
+
     # -- sampling ----------------------------------------------------------
 
     def start(self, sim: "Simulator", epoch_ns: int) -> None:
@@ -189,8 +229,32 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def as_records(self) -> list[dict]:
-        """JSON-native series list, insertion-ordered for determinism."""
-        return [
-            {"name": name, "epoch_ns": self.epoch_ns, "points": series.points}
-            for name, series in self._series.items()
-        ]
+        """JSON-native series list, insertion-ordered for determinism.
+
+        Histogram series additionally carry ``instrument: "histogram"``
+        (``kind`` is the JSONL stream discriminator, so it is reserved),
+        the final bucket table, and summary stats; plain series keep the
+        original record shape byte-for-byte.
+        """
+        out = []
+        for name, series in self._series.items():
+            record = {
+                "name": name, "epoch_ns": self.epoch_ns,
+                "points": series.points,
+            }
+            if isinstance(series, _HistogramSeries):
+                hist = series.hist
+                record["instrument"] = "histogram"
+                record["buckets"] = hist.as_buckets()
+                record["stats"] = {
+                    "count": hist.total,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "p50": hist.percentile(50),
+                    "p99": hist.percentile(99),
+                    "p999": hist.percentile(99.9),
+                    "sub_bits": hist.sub_bits,
+                }
+            out.append(record)
+        return out

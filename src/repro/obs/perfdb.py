@@ -1,0 +1,216 @@
+"""Perf history: append-only benchmark trajectory + regression gate.
+
+Every quick-bench / fig_real / proc-smoke run appends one JSON line to a
+committed ``BENCH_history.jsonl``, so the repository carries its own
+performance trajectory instead of a single before/after pair.  The gate
+(:func:`check_entry`) compares a fresh run against the recent history
+with two corrections that make it usable across heterogeneous machines:
+
+- **Machine calibration** — each entry records the kernel token-ring
+  probe's ``kernel_events_per_s``.  Wall-clock metrics are compared as
+  the *machine-invariant product* ``wall x events_per_s``: a machine
+  twice as fast runs the probe twice as fast AND the benchmark twice as
+  fast, so the product cancels the hardware out (same trick as
+  ``benchmarks/obs_guard.py``).
+- **Noise awareness** — the threshold is ``budget`` plus a term derived
+  from the history window's own spread (median absolute deviation), so
+  a metric that historically wobbles 10% does not produce false alarms
+  at a 5% budget, while a historically-stable metric stays tight.
+
+The kernel rate itself is gated too, but *without* calibration (it IS
+the calibrator) and against a generous default budget — it only exists
+to catch order-of-magnitude kernel regressions, not machine variance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "Regression",
+    "make_entry",
+    "load_history",
+    "append_entry",
+    "check_entry",
+    "default_history_path",
+]
+
+HISTORY_SCHEMA = 1
+
+#: Metrics where smaller is better and the value scales with machine
+#: speed (compared as value x events_per_s).
+_WALL_METRICS = ("fig8_wall_s", "proc_rtt_p50_ns", "proc_rtt_p99_ns")
+#: Metrics where bigger is better, compared raw (no calibration).
+_RATE_METRICS = ("kernel_events_per_s",)
+
+#: Default per-metric budgets (fractional slowdown tolerated before the
+#: noise term).  The kernel rate is its own calibrator, so its budget is
+#: deliberately loose — it should only trip on structural regressions.
+#: The proc RTTs are dominated by OS pipe/scheduler behaviour that the
+#: kernel-rate calibration cannot cancel (observed run-to-run spread on
+#: a loaded box is ~1.5x), so they are wide catastrophic-only tripwires.
+_DEFAULT_BUDGETS = {
+    "fig8_wall_s": 0.10,
+    "proc_rtt_p50_ns": 0.60,
+    "proc_rtt_p99_ns": 0.75,
+    "kernel_events_per_s": 0.50,
+}
+
+
+def default_history_path():
+    """The committed history file at the repository root."""
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))),
+        "BENCH_history.jsonl",
+    )
+
+
+def make_entry(label: str, kind: str, metrics: dict, **extra) -> dict:
+    """One history line.  ``metrics`` must include
+    ``kernel_events_per_s`` (the calibration probe) and any subset of
+    the gated metrics; extra keys ride along un-gated."""
+    if "kernel_events_per_s" not in metrics:
+        raise ValueError(
+            "entry metrics must include kernel_events_per_s "
+            "(the machine-calibration probe)"
+        )
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "label": label,
+        "kind": kind,
+        "metrics": dict(metrics),
+    }
+    entry.update(extra)
+    return entry
+
+
+def load_history(path) -> list[dict]:
+    """All history entries, oldest first.  Missing file → empty list
+    (a fresh repo has no trajectory yet; the gate passes vacuously)."""
+    if not os.path.exists(path):
+        return []
+    out = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if entry.get("schema") != HISTORY_SCHEMA:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown history schema "
+                    f"{entry.get('schema')!r} (expected {HISTORY_SCHEMA})"
+                )
+            out.append(entry)
+    return out
+
+
+def append_entry(path, entry: dict) -> None:
+    """Append one entry line (creates the file on first use)."""
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric outside its allowed envelope."""
+
+    metric: str
+    value: float  #: this run's calibrated value
+    expected: float  #: history median (calibrated)
+    ratio: float  #: value / expected (>1 means slower for wall metrics)
+    threshold: float  #: allowed ratio before failing
+    n_history: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: {self.ratio:.3f}x of the history median "
+            f"(allowed {self.threshold:.3f}x over {self.n_history} runs)"
+        )
+
+
+def _median(values: list) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _mad_ratio(values: list, center: float) -> float:
+    """Median absolute deviation as a fraction of the center — the
+    history's own noise level, robust to one bad run."""
+    if not values or center == 0:
+        return 0.0
+    mad = _median([abs(v - center) for v in values])
+    return mad / abs(center)
+
+
+def _calibrated(entry: dict, metric: str) -> Optional[float]:
+    metrics = entry.get("metrics", {})
+    value = metrics.get(metric)
+    if value is None:
+        return None
+    if metric in _WALL_METRICS:
+        eps = metrics.get("kernel_events_per_s")
+        if not eps:
+            return None
+        return value * eps  # machine-invariant: wall shrinks as eps grows
+    return float(value)
+
+
+def check_entry(
+    history: list[dict],
+    entry: dict,
+    window: int = 8,
+    budgets: Optional[dict] = None,
+    noise_mult: float = 3.0,
+) -> list[Regression]:
+    """Gate ``entry`` against the trailing ``window`` history entries.
+
+    For each gated metric present in both the entry and at least one
+    history entry, the allowed ratio is ``1 + budget + noise_mult * MAD``
+    where MAD is the history window's own relative spread.  Returns the
+    regressions found (empty == gate passes).  An empty history passes
+    vacuously — the first appended entry *creates* the trajectory.
+    """
+    budgets = {**_DEFAULT_BUDGETS, **(budgets or {})}
+    recent = history[-window:] if window else history
+    out: list[Regression] = []
+    for metric in _WALL_METRICS + _RATE_METRICS:
+        value = _calibrated(entry, metric)
+        if value is None:
+            continue
+        past = [
+            v for v in (_calibrated(h, metric) for h in recent)
+            if v is not None
+        ]
+        if not past:
+            continue
+        center = _median(past)
+        if center == 0:
+            continue
+        noise = _mad_ratio(past, center)
+        threshold = 1.0 + budgets.get(metric, 0.05) + noise_mult * noise
+        if metric in _RATE_METRICS:
+            # Bigger is better: fail when value falls below center/threshold.
+            ratio = center / value if value else float("inf")
+        else:
+            ratio = value / center
+        if ratio > threshold:
+            out.append(Regression(
+                metric=metric, value=value, expected=center, ratio=ratio,
+                threshold=threshold, n_history=len(past),
+            ))
+    return out

@@ -14,10 +14,13 @@ import pytest
 
 from repro.core.message import (
     MAX_WIRE_BYTES,
+    TRACE_EXT_BYTES,
+    TRACE_TS_BYTES,
     WIRE_VERSION,
     PoolBinding,
     RpcRequest,
     RpcResponse,
+    TraceContext,
     WireFormatError,
     decode_message,
     decode_request,
@@ -153,6 +156,71 @@ class TestCorruptFrames:
                  + _CRC.pack(zlib.crc32(tail)) + tail)
         with pytest.raises(WireFormatError, match="malformed request"):
             decode_request(frame)
+
+
+_FLAG_TRACE = 1 << 2  # mirrors the private constant; the bit IS the format
+
+
+def _flags(frame: bytes) -> int:
+    return _HEADER.unpack_from(frame)[2]
+
+
+class TestTraceExtension:
+    def test_request_round_trip(self):
+        trace = TraceContext(trace_id=0xABCDEF, span_id=0x123456)
+        request = _request(trace=trace)
+        decoded = decode_request(encode_request(request))
+        assert decoded.trace == trace
+        assert not decoded.trace.has_ts
+
+    def test_response_round_trip_with_server_stamps(self):
+        trace = TraceContext(trace_id=7, span_id=9, ts_a=1_000, ts_b=2_000)
+        response = RpcResponse(req_id=9, client_id=3, trace=trace)
+        decoded = decode_response(encode_response(response))
+        assert decoded.trace == trace
+        assert decoded.trace.has_ts
+
+    def test_flag_bit_set_only_when_traced(self):
+        assert not _flags(encode_request(_request())) & _FLAG_TRACE
+        traced = _request(trace=TraceContext(trace_id=1, span_id=2))
+        assert _flags(encode_request(traced)) & _FLAG_TRACE
+
+    def test_untraced_bytes_unchanged_by_extension(self):
+        # The zero-cost-when-off contract at the byte level: an untraced
+        # request encodes identically whether or not the trace field
+        # exists, and carries no "trace" key in the tail.
+        frame = encode_request(_request())
+        tail = frame[_OVERHEAD:]
+        assert b"trace" not in tail
+        assert decode_request(frame).trace is None
+
+    def test_wire_bytes_charged_only_when_present(self):
+        base = _request().wire_bytes
+        traced = _request(trace=TraceContext(trace_id=1, span_id=2))
+        stamped = _request(trace=TraceContext(1, 2, ts_a=3, ts_b=4))
+        assert traced.wire_bytes == base + TRACE_EXT_BYTES
+        assert stamped.wire_bytes == base + TRACE_EXT_BYTES + TRACE_TS_BYTES
+
+    def test_corrupt_extension_rejected(self):
+        for raw in ("xx", [1], [1, 2, 3], [1, "a"], {"trace_id": 1}):
+            with pytest.raises(WireFormatError, match="trace extension"):
+                TraceContext.from_wire(raw)
+
+    def test_flag_without_extension_rejected(self):
+        frame = bytearray(encode_request(_request()))
+        flags = _flags(bytes(frame)) | _FLAG_TRACE
+        struct.pack_into("!H", frame, 2, flags)
+        with pytest.raises(WireFormatError, match="trace"):
+            decode_request(bytes(frame))
+
+    def test_deterministic_ids_on_wire(self):
+        from repro.obs.dist import rpc_trace_id, span_id
+
+        trace_id = rpc_trace_id(7, 1234)
+        request = _request(trace=TraceContext(
+            trace_id=trace_id, span_id=span_id(trace_id, "client")))
+        decoded = decode_request(encode_request(request))
+        assert decoded.trace.trace_id == rpc_trace_id(7, 1234)
 
 
 class TestDecodeMessageDispatch:

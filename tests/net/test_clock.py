@@ -1,0 +1,159 @@
+"""Clock skew/offset estimation and clock-aligned shard merging.
+
+The proc backend's distributed traces only make sense if the NTP-style
+four-timestamp exchange recovers the offset between two processes' clock
+domains.  These tests inject known skew (and drift) through the Clock
+test knobs and through synthetic shards, and assert the merge puts the
+server span back inside the client span.
+"""
+
+import pytest
+
+from repro.net.clock import Clock, OffsetEstimator, estimate_offset
+from repro.obs import Observer
+from repro.obs.dist import (
+    format_trace_id,
+    merge_shards,
+    rpc_trace_id,
+    span_id,
+)
+
+
+class TestClock:
+    def test_monotonic_and_zero_based(self):
+        clock = Clock()
+        a = clock.now()
+        b = clock.now()
+        assert 0 <= a <= b
+
+    def test_skew_shifts_readings(self):
+        skewed = Clock(skew_ns=5_000_000_000)
+        assert skewed.now() >= 5_000_000_000
+
+    def test_negative_skew(self):
+        skewed = Clock(skew_ns=-(10**12))
+        assert skewed.now() < 0
+
+    def test_drift_stretches_elapsed_time(self):
+        # 1000 ppm of a given elapsed time is deterministic integer math:
+        # replay the formula rather than racing the real clock.
+        clock = Clock(drift_ppm=1000)
+        elapsed = 2_000_000
+        assert elapsed + elapsed * 1000 // 1_000_000 == 2_002_000
+        assert clock.drift_ppm == 1000
+
+
+class TestEstimateOffset:
+    def test_recovers_constant_skew(self):
+        # Server clock = client clock + 7000, symmetric 100 ns hops.
+        offset, rtt = estimate_offset(1000, 8100, 8150, 1250)
+        assert offset == 7000
+        assert rtt == 200
+
+    def test_rtt_excludes_server_hold_time(self):
+        offset, rtt = estimate_offset(0, 7100, 9100, 2200)
+        assert rtt == 200  # 2200 elapsed minus 2000 held
+
+    def test_asymmetry_error_bounded_by_half_rtt(self):
+        # 300 ns out, 100 ns back: true offset 7000, estimate off by 100,
+        # within rtt/2 = 200.
+        offset, rtt = estimate_offset(1000, 8300, 8350, 1450)
+        assert abs(offset - 7000) <= rtt // 2
+
+
+class TestOffsetEstimator:
+    def test_min_rtt_sample_wins(self):
+        est = OffsetEstimator()
+        est.add_sample(0, 8000, 8050, 2050)  # rtt 2000, offset 7000
+        est.add_sample(0, 7100, 7150, 250)  # rtt 200, offset 7000
+        est.add_sample(0, 9000, 9050, 4050)  # rtt 4000
+        assert est.rtt_ns == 200
+        assert est.offset_ns == 7000
+        assert est.n_samples == 3
+
+    def test_negative_rtt_sample_ignored(self):
+        est = OffsetEstimator()
+        est.add_sample(0, 100, 5000, 400)  # server held longer than rtt
+        assert est.offset_ns is None
+
+    def test_empty_as_dict(self):
+        assert OffsetEstimator().as_dict() == {
+            "offset_ns": None, "rtt_ns": None, "n_samples": 0,
+        }
+
+    def test_sample_cap(self):
+        est = OffsetEstimator(max_samples=1)
+        est.add_sample(0, 8000, 8050, 2050)
+        est.add_sample(0, 7100, 7150, 250)  # past the cap: ignored
+        assert est.rtt_ns == 2000
+        assert est.n_samples == 1
+
+
+def _shards(skew_ns, drift_ppm=0, rtt_ns=200):
+    """Synthetic server+client shard pair for one traced RPC.
+
+    True timeline (server domain): post 10_000, dispatch 10_100,
+    done 10_400, complete 10_500.  The client's readings are displaced by
+    ``-skew_ns`` (its clock runs behind the server's by ``skew_ns``) and
+    stretched by ``drift_ppm``.
+    """
+    trace = rpc_trace_id(0, 1)
+    hex_id = format_trace_id(trace)
+
+    def client_reads(true_ns):
+        t = true_ns - skew_ns
+        return t + t * drift_ppm // 1_000_000
+
+    server = Observer(meta={"role": "server", "transport": "scalerpc"})
+    server.rpc_stage(1, "req_rx", 10_050)
+    server.rpc_stage(1, "dispatch", 10_100)
+    server.rpc_stage(1, "done", 10_400)
+    server.rpc_trace(1, trace)
+
+    client = Observer(meta={"role": "client", "client_id": 0})
+    post, complete = client_reads(10_000), client_reads(10_500)
+    client.rpc_stage(1, "post", post)
+    client.rpc_stage(1, "complete", complete)
+    client.rpc_trace(1, trace)
+
+    est = OffsetEstimator()
+    est.add_sample(post, 10_100, 10_400, complete)
+    client.meta["clock_sync"] = est.as_dict()
+    return [server.finish(), client.finish()], hex_id
+
+
+class TestMergeRecoversSkew:
+    @pytest.mark.parametrize("skew_ns", [0, 5_000, -3_000_000_000, 10**12])
+    def test_spans_nest_after_alignment(self, skew_ns):
+        shards, hex_id = _shards(skew_ns)
+        merged = merge_shards(shards)
+        assert merged.problems() == []
+        [join] = merged.cross_process
+        assert join.trace == hex_id
+        assert join.post_ns <= join.dispatch_ns + join.slack_ns
+        assert join.done_ns <= join.complete_ns + join.slack_ns
+        assert join.nested
+
+    def test_recovered_offset_matches_injection(self):
+        shards, _ = _shards(skew_ns=5_000_000)
+        merged = merge_shards(shards)
+        # Shard order is server first; the client's applied offset is the
+        # injected skew exactly (symmetric synthetic exchange).
+        assert merged.offsets == [0, 5_000_000]
+
+    def test_drift_tolerated_within_slack(self):
+        # 500 ppm drift over a 500 ns window perturbs readings by far
+        # less than the rtt/2 slack, so nesting still holds.
+        shards, _ = _shards(skew_ns=1_000_000, drift_ppm=500)
+        merged = merge_shards(shards)
+        assert merged.problems() == []
+
+    def test_flows_point_forward(self):
+        shards, _ = _shards(skew_ns=-2_000_000_000)
+        merged = merge_shards(shards)
+        trace = merged.to_chrome()
+        starts = {e["id"]: e["ts"] for e in trace["traceEvents"] if e["ph"] == "s"}
+        finishes = {e["id"]: e["ts"] for e in trace["traceEvents"] if e["ph"] == "f"}
+        assert starts and set(starts) == set(finishes)
+        for flow_id, start_ts in starts.items():
+            assert finishes[flow_id] >= start_ts

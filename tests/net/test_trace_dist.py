@@ -1,0 +1,148 @@
+"""Distributed tracing across the proc backend, end to end.
+
+One real workload run (1 server + 2 client subprocesses over loopback)
+exports per-process shards; the merge must stitch every RPC across
+process boundaries with deterministic ids, nested spans, and
+forward-pointing flow events — and re-merging the same shards must
+produce byte-identical output.
+"""
+
+import json
+
+import pytest
+
+from repro.net import ProcWorkload, run_proc_workload
+from repro.obs import MergeError, load_jsonl, merge_dir, validate_chrome_trace
+from repro.obs.dist import (
+    format_trace_id,
+    merge_shards,
+    rpc_trace_id,
+    span_id,
+    write_merged_chrome_trace,
+)
+
+CLIENTS = 2
+OPS = 8
+
+
+@pytest.fixture(scope="module")
+def shard_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("shards")
+    result = run_proc_workload(ProcWorkload(
+        transport="scalerpc", n_clients=CLIENTS, ops_per_client=OPS,
+        batch_size=2, timeout_s=120.0, obs_export_dir=str(directory),
+        client_skew_ns=-1_500_000_000,  # clients run 1.5 s behind
+    ))
+    assert result.completed_ops == CLIENTS * OPS
+    return directory
+
+
+class TestDeterministicIds:
+    def test_trace_id_pure_function_of_identity(self):
+        assert rpc_trace_id(3, 17) == rpc_trace_id(3, 17)
+        assert rpc_trace_id(3, 17) != rpc_trace_id(3, 18)
+        assert rpc_trace_id(3, 17) != rpc_trace_id(4, 17)
+
+    def test_trace_id_never_zero(self):
+        assert all(rpc_trace_id(c, r) for c in range(4) for r in range(1, 64))
+
+    def test_span_ids_differ_by_role(self):
+        trace = rpc_trace_id(0, 1)
+        assert span_id(trace, "client") != span_id(trace, "server")
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="client"):
+            span_id(1, "observer")
+
+    def test_format_is_16_hex(self):
+        formatted = format_trace_id(rpc_trace_id(1, 2))
+        assert len(formatted) == 16
+        int(formatted, 16)
+
+
+class TestMergeErrors:
+    def test_missing_directory_actionable(self, tmp_path):
+        with pytest.raises(MergeError, match="--obs-dir"):
+            merge_dir(tmp_path / "never_exported")
+
+    def test_empty_directory_actionable(self, tmp_path):
+        with pytest.raises(MergeError, match="obs.jsonl"):
+            merge_dir(tmp_path)
+
+    def test_no_shards_at_all(self):
+        with pytest.raises(MergeError, match="no shards"):
+            merge_shards([])
+
+
+class TestProcMerge:
+    def test_one_shard_per_process(self, shard_dir):
+        names = sorted(p.name for p in shard_dir.glob("*.obs.jsonl"))
+        assert len(names) == CLIENTS + 1
+        assert sum("server" in n for n in names) == 1
+
+    def test_every_rpc_joins_across_processes(self, shard_dir):
+        merged = merge_dir(shard_dir)
+        assert merged.artifact["meta"]["joined_rpcs"] == CLIENTS * OPS
+        assert merged.artifact["meta"]["cross_process_rpcs"] == CLIENTS * OPS
+        assert merged.problems() == []
+
+    def test_ids_match_recomputation(self, shard_dir):
+        # The ids in the shards are pure functions of (client_id, req_id):
+        # recompute them from scratch and demand full overlap.
+        merged = merge_dir(shard_dir)
+        seen = {j.trace for j in merged.joined}
+        expected = {
+            format_trace_id(rpc_trace_id(client_id, req_id))
+            for client_id in range(1, CLIENTS + 1)  # worker ids are 1-based
+            for req_id in range(1, OPS + 1)
+        }
+        assert seen == expected
+
+    def test_injected_skew_recovered(self, shard_dir):
+        merged = merge_dir(shard_dir)
+        # Client offsets must recover the 1.5 s injected skew (plus the
+        # small real process-start delta, bounded by the rtt slack).
+        for offset, shard in zip(merged.offsets[1:], merged.shards[1:]):
+            slack = shard["meta"]["clock_sync"]["rtt_ns"]
+            assert offset == pytest.approx(1_500_000_000, abs=slack + 10**9)
+
+    def test_merged_chrome_trace_valid_with_flows(self, shard_dir, tmp_path):
+        merged = merge_dir(shard_dir)
+        out = tmp_path / "merged.trace.json"
+        assert write_merged_chrome_trace(merged, out) == []
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert len(pids) == CLIENTS + 1
+        flows = [e for e in events if e["ph"] in ("s", "f")]
+        assert flows
+        # Every flow finish binds to its enclosing slice and crosses pids.
+        for event in flows:
+            if event["ph"] == "f":
+                assert event["bp"] == "e"
+        by_id = {}
+        for event in flows:
+            by_id.setdefault(event["id"], []).append(event["pid"])
+        assert any(len(set(pids_)) == 2 for pids_ in by_id.values())
+
+    def test_remerge_is_byte_identical(self, shard_dir, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_merged_chrome_trace(merge_dir(shard_dir), a)
+        write_merged_chrome_trace(merge_dir(shard_dir), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_client_shards_carry_clock_sync(self, shard_dir):
+        for path in shard_dir.glob("*client*.obs.jsonl"):
+            meta = load_jsonl(path)["meta"]
+            sync = meta["clock_sync"]
+            assert sync["n_samples"] >= 1
+            assert sync["rtt_ns"] > 0
+
+    def test_merge_without_server_shard_degrades(self, shard_dir):
+        shards = [
+            load_jsonl(path)
+            for path in sorted(shard_dir.glob("*client*.obs.jsonl"))
+        ]
+        merged = merge_shards(shards)
+        assert merged.artifact["meta"]["cross_process_rpcs"] == 0
+        assert merged.artifact["meta"]["joined_rpcs"] == CLIENTS * OPS

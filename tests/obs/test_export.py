@@ -111,6 +111,81 @@ class TestValidator:
         assert problems
 
 
+class TestEdgeCases:
+    def test_empty_trace_valid(self):
+        trace = to_chrome_trace(Observer().finish())
+        assert validate_chrome_trace(trace) == []
+
+    def test_single_span_trace(self):
+        obs = Observer()
+        obs.span("t", "only", 10, 20)
+        trace = to_chrome_trace(obs.finish())
+        assert validate_chrome_trace(trace) == []
+        [x] = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert x["name"] == "only"
+
+    def test_drops_marker_is_global_instant(self):
+        # The drops marker renders as a full-height ("g" scope) Perfetto
+        # marker, so a truncated trace is visibly flagged.
+        obs = Observer(max_records=1)
+        obs.span("t", "a", 0, 1)
+        obs.span("t", "b", 2, 3)
+        trace = to_chrome_trace(obs.finish())
+        [marker] = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "tracer.dropped"
+        ]
+        assert marker["s"] == "g"
+        assert validate_chrome_trace(trace) == []
+
+    def test_drops_marker_synthesized_from_meta(self):
+        # An artifact whose meta counts drops but that carries no marker
+        # instant (e.g. assembled by an external tool) still renders one.
+        artifact = Observer().finish()
+        artifact["meta"]["dropped"] = 3
+        trace = to_chrome_trace(artifact)
+        [marker] = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "tracer.dropped"
+        ]
+        assert marker["s"] == "g"
+        assert marker["args"]["count"] == 3
+
+
+class TestFlowValidation:
+    @staticmethod
+    def _flow(ph, ts, **extra):
+        return {"ph": ph, "pid": 1, "tid": 0, "name": "hop", "ts": ts,
+                "cat": "flow", "id": "f1", **extra}
+
+    def test_forward_flow_valid(self):
+        trace = {"traceEvents": [self._flow("s", 1.0), self._flow("f", 2.0)]}
+        assert validate_chrome_trace(trace) == []
+
+    def test_backward_flow_flagged(self):
+        trace = {"traceEvents": [self._flow("s", 5.0), self._flow("f", 2.0)]}
+        assert any("backward" in p for p in validate_chrome_trace(trace))
+
+    def test_start_without_finish_flagged(self):
+        trace = {"traceEvents": [self._flow("s", 1.0)]}
+        assert any("without finish" in p for p in validate_chrome_trace(trace))
+
+    def test_finish_without_start_flagged(self):
+        trace = {"traceEvents": [self._flow("f", 1.0)]}
+        assert validate_chrome_trace(trace)
+
+    def test_duplicate_start_flagged(self):
+        trace = {"traceEvents": [
+            self._flow("s", 1.0), self._flow("s", 2.0), self._flow("f", 3.0),
+        ]}
+        assert validate_chrome_trace(trace)
+
+    def test_flow_missing_id_flagged(self):
+        event = {"ph": "s", "pid": 1, "tid": 0, "name": "hop", "ts": 1.0,
+                 "cat": "flow"}
+        assert validate_chrome_trace({"traceEvents": [event]})
+
+
 class TestDropAccounting:
     def test_record_cap_counts_drops(self):
         obs = Observer(max_records=2)
@@ -119,7 +194,17 @@ class TestDropAccounting:
         obs.span("t", "c", 3, 4)  # over the cap
         artifact = obs.finish()
         assert artifact["meta"]["dropped"] == 1
-        assert len(artifact["spans"]) + len(artifact["instants"]) == 2
+        # The capped records stay capped; the one extra instant is the
+        # drops marker itself, recorded in the export so a truncated
+        # trace is never mistaken for a complete one.
+        markers = [
+            inst for inst in artifact["instants"]
+            if inst["track"] == "obs.drops"
+        ]
+        assert len(markers) == 1
+        assert markers[0]["name"] == "tracer.dropped"
+        assert markers[0]["args"]["count"] == 1
+        assert len(artifact["spans"]) + len(artifact["instants"]) == 2 + 1
 
     def test_rpc_cap_counts_drops(self):
         obs = Observer(max_rpcs=1)

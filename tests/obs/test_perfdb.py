@@ -1,0 +1,142 @@
+"""The perf-history trajectory and its noise-aware regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.perfdb import (
+    HISTORY_SCHEMA,
+    append_entry,
+    check_entry,
+    load_history,
+    make_entry,
+)
+
+
+def _entry(fig8_wall_s=5.0, eps=1_000_000, p50=800_000, p99=2_000_000,
+           label="t"):
+    return make_entry(label=label, kind="test", metrics={
+        "kernel_events_per_s": eps,
+        "fig8_wall_s": fig8_wall_s,
+        "proc_rtt_p50_ns": p50,
+        "proc_rtt_p99_ns": p99,
+    })
+
+
+def _flat_history(n=8, **kwargs):
+    return [_entry(**kwargs) for _ in range(n)]
+
+
+class TestEntries:
+    def test_make_entry_requires_calibrator(self):
+        with pytest.raises(ValueError, match="kernel_events_per_s"):
+            make_entry("x", "test", {"fig8_wall_s": 1.0})
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_entry(path, _entry())
+        append_entry(path, _entry(label="u"))
+        history = load_history(path)
+        assert [h["label"] for h in history] == ["t", "u"]
+        assert all(h["schema"] == HISTORY_SCHEMA for h in history)
+
+    def test_missing_file_is_empty_trajectory(self, tmp_path):
+        assert load_history(tmp_path / "never.jsonl") == []
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(json.dumps({"schema": 99}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            load_history(path)
+
+    def test_garbage_line_located(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="1"):
+            load_history(path)
+
+
+class TestGate:
+    def test_empty_history_passes_vacuously(self):
+        assert check_entry([], _entry()) == []
+
+    def test_flat_history_same_run_passes(self):
+        assert check_entry(_flat_history(), _entry()) == []
+
+    def test_synthetic_slowdown_fails(self):
+        # The acceptance check: a ~1.5x fig8 slowdown on identical
+        # hardware must trip the gate against a flat history.
+        regressions = check_entry(_flat_history(), _entry(fig8_wall_s=7.5))
+        assert [r.metric for r in regressions] == ["fig8_wall_s"]
+        [regression] = regressions
+        assert regression.ratio == pytest.approx(1.5)
+        assert "1.5" in regression.describe()
+
+    def test_calibration_cancels_machine_speed(self):
+        # Same workload on a machine 1.43x slower: every wall metric
+        # stretches by exactly the probe's slowdown, so the calibrated
+        # product is unchanged and nothing alarms.  (A >1.5x machine
+        # would trip the raw kernel-rate tripwire by design.)
+        history = _flat_history()
+        slow_machine = _entry(fig8_wall_s=5.0 * 10 / 7, eps=700_000,
+                              p50=800_000 * 10 // 7, p99=2_000_000 * 10 // 7)
+        assert check_entry(history, slow_machine) == []
+
+    def test_genuine_regression_not_masked_by_fast_machine(self):
+        # Twice-as-fast machine, but the benchmark only got 1.3x faster:
+        # calibrated, that is a 1.53x regression.
+        history = _flat_history()
+        entry = _entry(fig8_wall_s=5.0 / 1.3, eps=2_000_000,
+                       p50=400_000, p99=1_000_000)
+        regressions = check_entry(history, entry)
+        assert [r.metric for r in regressions] == ["fig8_wall_s"]
+
+    def test_noisy_history_widens_threshold(self):
+        # +-20% historical wobble: a 1.25x run is within 3x the MAD and
+        # must not alarm, though it would fail against a flat history.
+        noisy = [_entry(fig8_wall_s=w) for w in (4.0, 6.0, 4.2, 5.8, 4.1, 5.9)]
+        assert check_entry(noisy, _entry(fig8_wall_s=6.25)) == []
+        assert check_entry(_flat_history(), _entry(fig8_wall_s=6.25)) != []
+
+    def test_kernel_rate_gated_raw(self):
+        # An order-of-magnitude kernel collapse fails even though every
+        # wall metric is "calibrated away" by the same collapse.
+        entry = _entry(fig8_wall_s=50.0, eps=100_000,
+                       p50=8_000_000, p99=20_000_000)
+        regressions = check_entry(_flat_history(), entry)
+        assert [r.metric for r in regressions] == ["kernel_events_per_s"]
+
+    def test_window_limits_lookback(self):
+        # Old slow entries roll out of the window: only the recent fast
+        # ones set the bar, so the slow run fails.
+        history = _flat_history(8, fig8_wall_s=9.0) + _flat_history(8)
+        regressions = check_entry(history, _entry(fig8_wall_s=7.5), window=8)
+        assert [r.metric for r in regressions] == ["fig8_wall_s"]
+        assert check_entry(history, _entry(fig8_wall_s=7.5), window=0) == []
+
+    def test_metric_absent_from_entry_skipped(self):
+        entry = make_entry("x", "test", {
+            "kernel_events_per_s": 1_000_000, "fig8_wall_s": 5.0,
+        })
+        assert check_entry(_flat_history(), entry) == []
+
+    def test_budget_override(self):
+        regressions = check_entry(
+            _flat_history(), _entry(fig8_wall_s=5.6),
+            budgets={"fig8_wall_s": 0.05},
+        )
+        assert [r.metric for r in regressions] == ["fig8_wall_s"]
+        assert check_entry(
+            _flat_history(), _entry(fig8_wall_s=5.6),
+            budgets={"fig8_wall_s": 0.25},
+        ) == []
+
+
+class TestCommittedHistory:
+    def test_repo_history_loads_and_gates(self):
+        from repro.obs.perfdb import default_history_path
+
+        history = load_history(default_history_path())
+        assert len(history) >= 1
+        # The committed trajectory must accept its own latest entry.
+        assert check_entry(history[:-1], history[-1]) == []

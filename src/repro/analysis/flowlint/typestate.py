@@ -154,6 +154,27 @@ PROTOCOLS = (
         releases=("close",),
         uses=(),
     ),
+    # Membership view subscription: subscribe -> notify* -> unsubscribe
+    # (replica/membership.py).  A runner that subscribes must release on
+    # every exit path or the callback outlives its world.
+    ResourceProtocol(
+        name="view-subscription",
+        scope=("replica",),
+        acquires=("subscribe",),
+        releases=("unsubscribe",),
+        uses=("deliver",),
+    ),
+    # Replica log append: the pending tail entry must be resolved by
+    # exactly one ack (durable) or abort (withdrawn) before the next
+    # append (replica/log.py).  Acquisition requires the call result to
+    # be bound, so bare list.append statements never participate.
+    ResourceProtocol(
+        name="replica-log",
+        scope=("replica",),
+        acquires=("append",),
+        releases=("ack", "abort"),
+        uses=(),
+    ),
 )
 
 #: Awaited wrappers whose argument ownership moves into the wrapper.

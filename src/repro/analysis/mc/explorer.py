@@ -29,6 +29,7 @@ small topologies tractable:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from dataclasses import dataclass, field
@@ -249,7 +250,14 @@ class Explorer:
             controller = ScheduleController(
                 prefix, seen_states, world.snapshot
             )
-            observer = ProtocolObserver(world)
+            # Scenarios that wrap a different world shape (the replica
+            # matrix) supply their own safety monitor; the default wraps
+            # the single-server ScaleRPC internals.
+            make_observer = getattr(self.scenario, "make_observer", None)
+            if make_observer is not None:
+                observer = make_observer(world)
+            else:
+                observer = ProtocolObserver(world)
             world.sim.tiebreak = controller
             steps, done, crash = self._drive(world)
         finally:
@@ -346,6 +354,12 @@ def write_artifact(
     artifact_dir = Path(artifact_dir)
     artifact_dir.mkdir(parents=True, exist_ok=True)
     slug = "-".join(str(pick) for pick in execution.schedule) or "fifo"
+    if len(slug) > 48:
+        # Deep schedules (replica scenarios run to thousands of choice
+        # points) would blow past the filesystem's name limit: keep the
+        # filename short and let the JSON body carry the full schedule.
+        digest = hashlib.sha256(slug.encode("ascii")).hexdigest()[:16]
+        slug = f"L{len(execution.schedule)}-{digest}"
     name = f"{explorer.scenario.name}{'-buggy' if explorer.buggy else ''}-{slug}.json"
     path = artifact_dir / name
     path.write_text(

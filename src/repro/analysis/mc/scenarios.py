@@ -370,3 +370,10 @@ _MATRIX = [
 ]
 
 SCENARIOS: dict[str, Scenario] = {scenario.name: scenario for scenario in _MATRIX}
+
+# The replica-plane matrix (imported late: repro.replica builds on the
+# same core the plain scenarios instantiate) joins the CLI namespace so
+# ``--scenario replica-*`` works like any other entry.
+from .replica import REPLICA_SCENARIOS  # noqa: E402
+
+SCENARIOS.update(REPLICA_SCENARIOS)

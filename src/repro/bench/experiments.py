@@ -36,7 +36,7 @@ __all__ = [
     "fig11a", "fig11b", "fig12", "fig13",
     "fig16a", "fig16b",
     "disc_transfer", "disc_dct", "disc_newer_hca", "abl_mechanisms",
-    "fig_overrun", "fig_faults", "fig_real",
+    "fig_overrun", "fig_faults", "fig_real", "fig_failover",
     "ALL_FIGURES", "BACKEND_FIGURES", "run_figure",
 ]
 
@@ -823,6 +823,149 @@ def fig_real(quick: bool = True, backend: str = "proc") -> FigureResult:
     )
 
 
+def fig_failover(quick: bool = True, backend: str = "sim") -> FigureResult:
+    """Replicated failover (DESIGN.md section 15): bounded recovery.
+
+    The primary of a replicated group is fail-stopped mid-workload;
+    heartbeat-driven membership installs a new view, the backup is
+    promoted (with its replay digest asserted), and every client
+    re-homes — by push (view notice) or pull (watchdog escalation) —
+    reposting in-flight requests that the replica log deduplicates.
+    Everything the section-15 story promises is asserted, not plotted:
+
+    - **availability**: the unavailability window (gap between the last
+      pre-fault and first post-fault completion) is bounded, and
+      post-recovery goodput is at least 90% of pre-fault;
+    - **exactly-once**: zero duplicate executions (per-identity commit
+      counts) and zero lost ops (every issued request completes);
+    - **convergence**: exactly one view change lands, and surviving
+      replicas' state-machine digests agree;
+    - **determinism** (sim): same seed → byte-identical summaries, with
+      telemetry on or off.
+
+    ``backend="proc"`` runs the real-socket analogue: the victim's
+    listener actually closes, so recovery rides EOF → bounded reconnect
+    → failover retarget on real connections (wall-clock bounds are
+    correspondingly looser).
+    """
+    import json
+
+    metrics = ("completed", "total", "unavailable_us", "goodput_ratio",
+               "view_epoch", "duplicates", "failovers")
+
+    def row(result: dict) -> list:
+        failovers = sum(
+            pc.get("failovers", 0) for pc in result["per_client"].values()
+        )
+        return [
+            result["completed"], result["total_ops"],
+            result["unavailable_ns"] / 1e3,
+            round(result.get("goodput_ratio", 1.0), 4),
+            result["view"]["epoch"], result["duplicate_executions"],
+            failovers,
+        ]
+
+    def check(result: dict, what: str, unavailable_bound_ns: int) -> None:
+        assert result["completed"] == result["total_ops"], (
+            f"{what}: lost ops: {result['completed']}/{result['total_ops']}"
+        )
+        assert result["duplicate_executions"] == 0, (
+            f"{what}: duplicate executions — exactly-once broken: {result}"
+        )
+        assert result["replica_digests_agree"], (
+            f"{what}: surviving replicas diverged: {result['group']}"
+        )
+        assert result["view"]["epoch"] == 2 and result["view"]["changes"] == 1, (
+            f"{what}: expected exactly one view change: {result['view']}"
+        )
+        assert result["group"]["promotions"] == 1, (
+            f"{what}: expected exactly one promotion: {result['group']}"
+        )
+        assert 0 < result["unavailable_ns"] < unavailable_bound_ns, (
+            f"{what}: recovery not bounded: unavailable for "
+            f"{result['unavailable_ns']} ns (bound {unavailable_bound_ns})"
+        )
+
+    if backend == "proc":
+        from ..replica.procrunner import ReplicaProcConfig, run_replica_proc
+
+        config = ReplicaProcConfig(
+            ops_per_client=20 if quick else 40,
+            fail_primary_at_s=0.1 if quick else 0.2,
+        )
+        result = run_replica_proc(config)
+        # Real sockets, real clocks: the bound covers detection plus two
+        # reconnect-backoff cycles with generous CI headroom.
+        check(result, "proc", unavailable_bound_ns=10_000_000_000)
+        return FigureResult(
+            figure="Failover (proc backend)",
+            title="Primary fail-stop on real sockets: bounded recovery",
+            x_label="metric",
+            x_values=metrics,
+            series={"proc failover": row(result)},
+            unit="count / us / ratio",
+            notes=[
+                f"unavailable {result['unavailable_ns'] / 1e6:.0f} ms on"
+                " loopback TCP (detection + reconnect backoff)",
+                f"group: {result['group']}",
+            ],
+        )
+
+    from ..replica.simrunner import ReplicaSimConfig, run_replica_sim
+
+    config = ReplicaSimConfig() if quick else ReplicaSimConfig(
+        n_clients=4, ops_per_client=120, horizon_ns=4_000_000
+    )
+    baseline = run_replica_sim(_replace_frozen(config, fail_primary_at_ns=None))
+    assert baseline["completed"] == baseline["total_ops"], (
+        f"healthy baseline lost ops: {baseline}"
+    )
+    assert baseline["view"]["changes"] == 0, (
+        f"healthy baseline changed views: {baseline['view']}"
+    )
+    result = run_replica_sim(config)
+    check(result, "sim", unavailable_bound_ns=800_000)
+    assert result["goodput_ratio"] >= 0.9, (
+        f"post-recovery goodput below 90% of pre-fault:"
+        f" {result['goodput_ratio']:.3f}"
+    )
+    # Determinism: same seed → byte-identical summary, obs on or off.
+    again = run_replica_sim(config)
+    assert json.dumps(again, sort_keys=True) == json.dumps(
+        result, sort_keys=True
+    ), "same-seed replicated runs diverged"
+    with_obs = run_replica_sim(_replace_frozen(config, obs_enabled=True))
+    assert json.dumps(with_obs, sort_keys=True) == json.dumps(
+        result, sort_keys=True
+    ), "telemetry perturbed the replicated run"
+    return FigureResult(
+        figure="Failover (sim backend)",
+        title="Primary fail-stop mid-workload: bounded recovery",
+        x_label="metric",
+        x_values=metrics,
+        series={
+            "healthy baseline": row(baseline),
+            "primary fail-stop": row(result),
+        },
+        unit="count / us / ratio",
+        notes=[
+            f"fault at t={config.fail_primary_at_ns // US} us;"
+            f" unavailable {result['unavailable_ns'] / 1e3:.0f} us;"
+            f" goodput ratio {result['goodput_ratio']:.3f}",
+            f"group: {result['group']}",
+            "determinism asserted: same-seed and obs-on/off summaries"
+            " byte-identical",
+        ],
+    )
+
+
+def _replace_frozen(config, **overrides):
+    """dataclasses.replace for the frozen runner configs."""
+    import dataclasses
+
+    return dataclasses.replace(config, **overrides)
+
+
 ALL_FIGURES = {
     "fig1a": fig1a,
     "fig1b": fig1b,
@@ -846,11 +989,12 @@ ALL_FIGURES = {
     "fig_overrun": fig_overrun,
     "fig_faults": fig_faults,
     "fig_real": fig_real,
+    "fig_failover": fig_failover,
 }
 
 #: Figures that take a ``backend`` argument (``--backend`` on the CLI).
 #: Everything else models RDMA hardware and only runs on the simulator.
-BACKEND_FIGURES = frozenset({"fig_real"})
+BACKEND_FIGURES = frozenset({"fig_real", "fig_failover"})
 
 
 def run_figure(name: str, quick: bool = True, backend: str = "sim") -> FigureResult:

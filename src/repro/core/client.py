@@ -92,6 +92,11 @@ class ScaleRpcClient(RpcClientApi):
         # Recovery state (DESIGN.md section 10).
         self._recovering = False
         self._progress_ns = 0
+        # Failover escalation (DESIGN.md section 15): when set, the
+        # watchdog consults ``failover_fn(self)`` for a live replacement
+        # server before falling back to same-endpoint reconnect.  The
+        # membership runner points this at the current view's primary.
+        self.failover_fn = None
         # Stats.
         self.completed = 0
         self.failed_retries = 0
@@ -99,6 +104,7 @@ class ScaleRpcClient(RpcClientApi):
         self.switch_events = 0
         self.timeouts = 0
         self.reconnects = 0
+        self.failovers = 0
         # The watchdog only exists when a timeout is configured, so the
         # default (0) run has no extra process and stays byte-identical.
         if config.rpc_timeout_ns > 0:
@@ -167,8 +173,9 @@ class ScaleRpcClient(RpcClientApi):
 
     def _watchdog(self) -> Generator:
         """Detect a dead connection: no completion progress for
-        ``rpc_timeout_ns`` with requests outstanding triggers the bounded
-        backoff-and-reconnect recovery path."""
+        ``rpc_timeout_ns`` with requests outstanding triggers recovery —
+        failover to the server named by ``failover_fn`` when that is a
+        *different* live endpoint, same-endpoint reconnect otherwise."""
         timeout_ns = self.server.config.rpc_timeout_ns
         period = max(timeout_ns // 2, 1)
         while not self._stopped:
@@ -178,7 +185,11 @@ class ScaleRpcClient(RpcClientApi):
             if self.sim.now - self._progress_ns < timeout_ns:
                 continue
             self.timeouts += 1
-            yield from self._recover()
+            target = self.failover_fn(self) if self.failover_fn is not None else None
+            if target is not None and target is not self.server:
+                yield from self.failover_to(target)
+            else:
+                yield from self._recover()
 
     def _recover(self) -> Generator:
         """Bounded reconnect + re-announce with exponential backoff.
@@ -198,6 +209,15 @@ class ScaleRpcClient(RpcClientApi):
             for _attempt in range(config.reconnect_max_attempts):
                 if self._stopped or self._crashed:
                     return
+                if self.failover_fn is not None:
+                    # Membership may have promoted a backup while we were
+                    # backing off against the dead endpoint: escalate to
+                    # failover instead of burning the remaining attempts.
+                    target = self.failover_fn(self)
+                    if target is not None and target is not self.server:
+                        self._recovering = False  # hand the guard over
+                        yield from self.failover_to(target)
+                        return
                 if not self.qp.is_ready:
                     yield self.sim.timeout(config.qpc_setup_ns)
                     if self._crashed:
@@ -224,6 +244,47 @@ class ScaleRpcClient(RpcClientApi):
                     self._progress_ns = self.sim.now
                     return
                 backoff *= 2
+        finally:
+            self._recovering = False
+
+    def failover_to(self, server: "ScaleRpcServer") -> Generator:
+        """Re-home to a promoted backup (DESIGN.md section 15).
+
+        Pays the control-plane QPC setup cost, asks the target to
+        :meth:`~ScaleRpcServer.adopt` this client (fresh RC pair to the
+        new node; ``self.server`` flips inside), drops to IDLE through
+        the RECONNECT protocol event, and re-announces every outstanding
+        request.  Reposts reuse the original :class:`RpcRequest` objects
+        — same ``req_id``s — which is what the replica log's dedup keys
+        on for exactly-once visible semantics.
+        """
+        if self._recovering:
+            return
+        if not getattr(server, "alive", True):
+            return
+        self._recovering = True
+        try:
+            yield self.sim.timeout(self.server.config.qpc_setup_ns)
+            if self._crashed or self._stopped:
+                return
+            if not server.adopt(self):
+                return  # target died while we were setting up; retry later
+            self.reconnects += 1
+            self.failovers += 1
+            # A new server means new context metadata and activation
+            # numbering: reset the freshness floor, like any reconnect.
+            self._bound_seq = -1
+            self.state = client_transition(self.state, ProtocolEvent.RECONNECT)
+            self._binding = None
+            self._cursor = None
+            self._progress_ns = self.sim.now
+            obs = self.machine.fabric.obs
+            if obs is not None:
+                for req_id in sorted(self._outstanding):
+                    obs.rpc_stage(req_id, "failover", self.sim.now)
+            if self._outstanding:
+                yield from self.machine.cpu.use(self._post_ns)
+                self._announce()
         finally:
             self._recovering = False
 

@@ -30,7 +30,29 @@ from typing import Any, Optional
 
 from .message import RpcRequest, RpcResponse
 
-__all__ = ["CallHandle", "RpcCallerInterface", "RpcServiceInterface"]
+__all__ = [
+    "NO_RESPONSE",
+    "CallHandle",
+    "RpcCallerInterface",
+    "RpcServiceInterface",
+]
+
+
+class _NoResponse:
+    """Sentinel a handler returns to suppress the response entirely.
+
+    Dead, fenced, or non-primary replicas (:mod:`repro.replica`) answer
+    with silence rather than an error: the client's rpc-timeout watchdog
+    is the failure detector, and silence is what drives its escalation
+    to reconnect/failover.  Both backends honor it — the sim server
+    skips ``_respond``, the proc server sends no frame.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NO_RESPONSE>"
+
+
+NO_RESPONSE = _NoResponse()
 
 
 @dataclass

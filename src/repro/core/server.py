@@ -37,6 +37,7 @@ from .api import RpcServerApi
 from .client import ScaleRpcClient
 from .config import ScaleRpcConfig
 from .grouping import ClientContext, ConnectionGroup, GroupManager
+from .interface import NO_RESPONSE
 from .message import (
     ActivationNotice,
     ContextSwitchNotice,
@@ -79,6 +80,9 @@ class ServerStats:
     lease_evictions: int = 0
     readmissions: int = 0
     reconnects: int = 0
+    # Replica-plane accounting (DESIGN.md section 15).
+    adoptions: int = 0
+    suppressed_responses: int = 0
 
 
 @dataclass
@@ -144,6 +148,9 @@ class ScaleRpcServer(RpcServerApi):
         self._draining = False
         self._client_ids = itertools.count(1)
         self._started = False
+        # Fail-stop flag (DESIGN.md section 15): a fail-stopped server
+        # never restarts; reestablish/adopt refuse while it is down.
+        self.alive = True
         # Optional GlobalSynchronizer aligning switches across servers.
         self.synchronizer = None
         node.watch_writes(self.pools.pools[0].region.range, self._on_pool_write)
@@ -187,6 +194,75 @@ class ScaleRpcServer(RpcServerApi):
 
     # -- fault recovery (DESIGN.md section 10) -----------------------------
 
+    def fail_stop(self) -> None:
+        """Fail-stop this server permanently (no restart).
+
+        Every client connection breaks — both QP ends go to ERROR, so
+        remote clients observe the failure exactly as they would a peer
+        crash — and :meth:`reestablish`/:meth:`adopt` refuse from here
+        on: the only way forward for a client is failover to a promoted
+        backup (:mod:`repro.replica`).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for ctx in self.groups.clients.values():
+            peer = ctx.qp.peer
+            if peer is not None:
+                peer.to_error()
+            ctx.qp.to_error()
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.instant("server.faults", "fail_stop", self.sim.now,
+                        {"server": self.node.name})
+
+    def adopt(self, client: ScaleRpcClient) -> bool:
+        """Admit a client failing over from another (dead) server.
+
+        The cross-server variant of :meth:`reestablish`: tears down the
+        client's QP pair to its old server, builds a fresh RC pair to
+        *this* node, and re-homes the client (``client.server`` flips
+        here).  The client keeps its id — failover deployments give each
+        server a disjoint id space so adoption can never collide with a
+        locally-admitted client.  Returns False (and changes nothing) if
+        this server is itself dead: the caller's watchdog keeps backing
+        off until membership names a live target.
+        """
+        if not self.alive:
+            return False
+        old = client.qp
+        if old.peer is not None:
+            old.peer.close()
+        old.close()
+        client_qp, server_qp = create_qp_pair(
+            client.machine, self.node, Transport.RC
+        )
+        ctx = self.groups.clients.get(client.client_id)
+        if ctx is None:
+            ctx = ClientContext(
+                client_id=client.client_id,
+                qp=server_qp,
+                response_base=client.responses.range.base,
+                response_bytes=client.responses.range.size,
+                staging_base=client.staging.range.base,
+            )
+            ctx.response_cursor = SlotCursor(ctx.response_base, ctx.response_bytes)
+            ctx.recent_completed = set()
+            self.groups.add_client(ctx)
+        else:
+            ctx.qp = server_qp
+        ctx.warmed_up = False
+        ctx.pending_entry = None
+        ctx.last_heard_ns = self.sim.now
+        client.server = self
+        client.qp = client_qp
+        self.stats.adoptions += 1
+        obs = self.node.fabric.obs
+        if obs is not None:
+            obs.instant("server.faults", "adopt", self.sim.now,
+                        {"client": client.client_id})
+        return True
+
     def reestablish(self, client: ScaleRpcClient) -> None:
         """Control-plane reconnect for a client whose connection died.
 
@@ -196,7 +272,13 @@ class ScaleRpcServer(RpcServerApi):
         it is re-admitted with fresh context metadata — and therefore a
         fresh activation numbering, which is why the RECONNECT protocol
         event resets the client's freshness floor.
+
+        A fail-stopped server refuses silently: the client's QP stays
+        dead, its recovery loop keeps backing off, and the watchdog
+        escalates to failover once membership names a live target.
         """
+        if not self.alive:
+            return
         old = client.qp
         if old.peer is not None:
             old.peer.close()
@@ -697,6 +779,12 @@ class ScaleRpcServer(RpcServerApi):
             return
         yield self.sim.timeout(base_cost + handler_cost)
         result = self.handler(request)
+        if result is NO_RESPONSE:
+            # The handler chose silence (dead/fenced/non-primary replica):
+            # no response frame, no dedup entry — the client's watchdog is
+            # the failure detector.
+            self.stats.suppressed_responses += 1
+            return
         self._remember(ctx, request.req_id)
         cost = self._respond(ctx, request, result)
         yield self.sim.timeout(cost)
@@ -717,6 +805,9 @@ class ScaleRpcServer(RpcServerApi):
             cost = self.handler_cost_fn(request) + self.config.costs.server_request_ns
             yield self.sim.timeout(cost)
             result = self.handler(request)
+            if result is NO_RESPONSE:
+                self.stats.suppressed_responses += 1
+                continue
             self._remember(item.ctx, request.req_id)
             yield self.sim.timeout(self._respond(item.ctx, request, result))
             self.stats.legacy_completed += 1

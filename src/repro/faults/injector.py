@@ -66,6 +66,8 @@ class FaultInjector:
         plan: FaultPlan,
         rng: "RngRegistry",
         recovery_deadline_ns: int = _RECOVERY_DEADLINE_NS,
+        servers: Optional[dict] = None,
+        replica_group=None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -74,6 +76,14 @@ class FaultInjector:
         self.plan = plan
         self._rng = rng
         self.recovery_deadline_ns = recovery_deadline_ns
+        #: Server nodes addressable by name (server_fail_stop / partition /
+        #: rack_failure targets).  The single-server kinds keep using
+        #: ``server``.
+        self.servers = dict(servers or {})
+        #: The :class:`~repro.replica.group.ReplicaGroup` behind those
+        #: servers, if any: fail-stops and partitions are mirrored into it
+        #: so the replication layer sees the same fault the transport does.
+        self.replica_group = replica_group
         #: Executed schedule, in firing order.
         self.records: list[FaultRecord] = []
         self.injected = 0
@@ -134,6 +144,12 @@ class FaultInjector:
             self._straggle(spec, stream)
         elif spec.kind == "stop_polling":
             self._stop_polling(spec, stream)
+        elif spec.kind == "server_fail_stop":
+            self._server_fail_stop(spec.node)
+        elif spec.kind == "partition":
+            yield from self._partition(spec)
+        elif spec.kind == "rack_failure":
+            self._rack_failure(spec)
 
     def _record(self, kind: str, action: str, target: Optional[int] = None,
                 detail: Optional[tuple] = None) -> None:
@@ -162,9 +178,14 @@ class FaultInjector:
             return
         self._record("client_crash", "crash", client.client_id)
         client.crash()
-        if spec.duration_ns <= 0:
-            return  # permanent: the client stays dead
-        yield self.sim.timeout(spec.duration_ns)
+        if spec.restart_at is not None:
+            # Absolute restart time (the restart_at crash form); the plan
+            # validated restart_at > at_ns, so the wait is positive.
+            yield self.sim.timeout(max(spec.restart_at - self.sim.now, 1))
+        elif spec.duration_ns <= 0:
+            return  # fail-stop: the client stays dead
+        else:
+            yield self.sim.timeout(spec.duration_ns)
         restart_ns = self.sim.now
         completed_before = client.completed
         self._record("client_crash", "restart", client.client_id)
@@ -230,3 +251,36 @@ class FaultInjector:
             return
         client.stop_polling()
         self._record("stop_polling", "stop_polling", client.client_id)
+
+    # -- replica-plane kinds (DESIGN.md section 15) --------------------------
+
+    def _server_fail_stop(self, name: str) -> None:
+        """Kill server ``name`` permanently: transport connections break
+        (fail_stop on the server) and the replica turns DEAD."""
+        server = self.servers.get(name)
+        if server is not None:
+            server.fail_stop()
+        if self.replica_group is not None and name in self.replica_group.replicas:
+            self.replica_group.fail_stop(name)
+        self._record("server_fail_stop", "fail_stop", None, (name,))
+
+    def _partition(self, spec: FaultSpec) -> Generator:
+        """Drop replica traffic ``src`` -> ``dst`` only — the asymmetric
+        partition where ``src`` still hears ``dst`` but not vice versa.
+        ``duration_ns == 0`` never heals."""
+        if self.replica_group is None:
+            return
+        self.replica_group.partition(spec.src, spec.dst)
+        self._record("partition", "partition_begin", None, (spec.src, spec.dst))
+        if spec.duration_ns <= 0:
+            return
+        yield self.sim.timeout(spec.duration_ns)
+        self.replica_group.heal(spec.src, spec.dst)
+        self._record("partition", "partition_heal", None, (spec.src, spec.dst))
+
+    def _rack_failure(self, spec: FaultSpec) -> None:
+        """Correlated fail-stop: every server in the rack group dies at
+        the same instant (no staggering — that is the point)."""
+        for name in spec.group_targets:
+            self._server_fail_stop(name)
+        self._record("rack_failure", "rack_failure", None, spec.group_targets)

@@ -20,12 +20,15 @@ __all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec"]
 
 #: Everything the injector knows how to do.
 FAULT_KINDS = (
-    "client_crash",      # crash a client; restart it after duration_ns (0 = stays dead)
+    "client_crash",      # crash a client; restart per restart_at/duration_ns (absent = fail-stop)
     "link_degrade",      # latency spike / bandwidth cut / RC loss for duration_ns
     "conn_cache_flush",  # drop the server NIC's connection + WQE caches
     "conn_cache_poison", # fill the server NIC's connection cache with junk entries
     "straggler",         # descheduled client thread: posts stall for duration_ns
     "stop_polling",      # client stops polling its CQs forever (fig_overrun's zombie)
+    "server_fail_stop",  # kill server `node` permanently (never restarts)
+    "partition",         # drop traffic src -> dst (one direction!) for duration_ns (0 = forever)
+    "rack_failure",      # correlated fail-stop of every server in group_targets at once
 )
 
 
@@ -46,10 +49,26 @@ class FaultSpec:
     target: Optional[int] = None
     #: Bound on rate-driven firings (``None`` = unbounded until horizon).
     count: Optional[int] = None
+    #: Absolute restart time of a ``client_crash`` (replaces the relative
+    #: ``duration_ns`` form).  ``None`` with ``duration_ns == 0`` means
+    #: **fail-stop**: the target never comes back, and the plan-level
+    #: validation rejects any other spec that would restart it.
+    restart_at: Optional[int] = None
     # -- link_degrade shape --------------------------------------------------
     latency_mult: float = 1.0
     bandwidth_mult: float = 1.0
     rc_loss_rate: float = 0.0
+    # -- replica-plane shape (server_fail_stop / partition / rack_failure) ---
+    #: Server node name a ``server_fail_stop`` kills.
+    node: Optional[str] = None
+    #: ``partition`` direction: traffic ``src`` -> ``dst`` is dropped while
+    #: ``dst`` -> ``src`` still flows — asymmetric by construction (A sees
+    #: B, B doesn't see A).
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    #: Server node names a ``rack_failure`` fail-stops simultaneously
+    #: (the correlated rack-scale failure group).
+    group_targets: tuple = ()
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -70,6 +89,49 @@ class FaultSpec:
             raise ValueError("degradation multipliers must be positive")
         if not 0.0 <= self.rc_loss_rate < 1.0:
             raise ValueError("rc_loss_rate must be in [0, 1)")
+        object.__setattr__(self, "group_targets", tuple(self.group_targets))
+        if self.restart_at is not None:
+            if self.kind != "client_crash":
+                raise ValueError("restart_at only applies to client_crash")
+            if self.at_ns is None:
+                raise ValueError("restart_at requires a scheduled (at_ns) crash")
+            if self.restart_at <= self.at_ns:
+                raise ValueError("restart_at must be after at_ns")
+            if self.duration_ns > 0:
+                raise ValueError("restart_at and duration_ns are exclusive")
+        if self.kind == "server_fail_stop":
+            if self.node is None:
+                raise ValueError("server_fail_stop requires node")
+            if self.duration_ns > 0:
+                raise ValueError("server_fail_stop never restarts; no duration")
+        if self.kind == "partition":
+            if self.src is None or self.dst is None:
+                raise ValueError("partition requires src and dst")
+            if self.src == self.dst:
+                raise ValueError("partition src and dst must differ")
+        if self.kind == "rack_failure" and not self.group_targets:
+            raise ValueError("rack_failure requires group_targets")
+
+    @property
+    def restarts_target(self) -> bool:
+        """Does this spec bring its crash target back?"""
+        return self.kind == "client_crash" and (
+            self.restart_at is not None or self.duration_ns > 0
+        )
+
+    def fail_stopped(self) -> tuple:
+        """Identities this spec permanently kills (plan validation)."""
+        if self.kind == "server_fail_stop":
+            return (("node", self.node),)
+        if self.kind == "rack_failure":
+            return tuple(("node", name) for name in self.group_targets)
+        if (
+            self.kind == "client_crash"
+            and not self.restarts_target
+            and self.target is not None
+        ):
+            return (("client", self.target),)
+        return ()
 
 
 @dataclass(frozen=True)
@@ -83,6 +145,20 @@ class FaultPlan:
         for spec in self.specs:
             if not isinstance(spec, FaultSpec):
                 raise TypeError(f"FaultPlan entries must be FaultSpec, got {spec!r}")
+        # Fail-stop is forever: a plan that fail-stops an identity in one
+        # spec and restarts it in another is contradictory — reject it at
+        # construction instead of silently resurrecting the node.
+        dead = {identity for spec in self.specs for identity in spec.fail_stopped()}
+        for spec in self.specs:
+            if (
+                spec.restarts_target
+                and spec.target is not None
+                and ("client", spec.target) in dead
+            ):
+                raise ValueError(
+                    f"plan restarts client {spec.target}, which another "
+                    "spec fail-stops (fail-stopped nodes never restart)"
+                )
 
     @property
     def empty(self) -> bool:
@@ -119,6 +195,11 @@ class FaultPlan:
         """Rate-driven crashes of randomly drawn clients."""
         return cls((FaultSpec("client_crash", mtbf_ns=mtbf_ns,
                               duration_ns=down_ns, count=count),))
+
+    @classmethod
+    def fail_stop(cls, at_ns: int, node: str) -> "FaultPlan":
+        """Kill server ``node`` at ``at_ns``; it never comes back."""
+        return cls((FaultSpec("server_fail_stop", at_ns=at_ns, node=node),))
 
     @classmethod
     def of(cls, specs: Sequence[FaultSpec]) -> "FaultPlan":

@@ -26,7 +26,12 @@ import asyncio
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..core.interface import CallHandle, RpcCallerInterface, RpcServiceInterface
+from ..core.interface import (
+    NO_RESPONSE,
+    CallHandle,
+    RpcCallerInterface,
+    RpcServiceInterface,
+)
 from ..core.message import (
     RpcRequest,
     RpcResponse,
@@ -58,6 +63,9 @@ class ProcServerStats:
     completed: int = 0
     failed: int = 0
     decode_errors: int = 0
+    #: Handler returned NO_RESPONSE: the request was deliberately left
+    #: unanswered (replica redirects, blocked heartbeats).
+    suppressed: int = 0
 
 
 class ProcRpcServer(RpcServiceInterface):
@@ -158,6 +166,12 @@ class ProcRpcServer(RpcServiceInterface):
             result = f"{type(exc).__name__}: {exc}"
             failed = True
             self.stats.failed += 1
+        if result is NO_RESPONSE:
+            # The backend-neutral "stay silent" contract (replica
+            # redirects, blocked heartbeats): no frame goes back, and the
+            # caller's own timeout machinery decides what silence means.
+            self.stats.suppressed += 1
+            return
         done = self.clock.now()
         # Echo the trace context whenever the request carried one — even
         # with no server observer installed: the dispatch/done stamps are
@@ -238,6 +252,12 @@ class ProcRpcClient(RpcCallerInterface):
         self._outstanding: dict[int, CallHandle] = {}
         self._recv_task: Optional[asyncio.Task] = None
         self._closing = False
+        #: Per-transport failover hook (the proc analogue of the sim
+        #: client's ``failover_fn``): called with this client when the
+        #: connection is lost, returns the :class:`Endpoint` to re-home
+        #: to (or None to keep hammering the current one).
+        self.failover_fn: Optional[Callable[["ProcRpcClient"], Optional[Endpoint]]] = None
+        self.failovers = 0
 
     @property
     def reconnects(self) -> int:
@@ -312,12 +332,25 @@ class ProcRpcClient(RpcCallerInterface):
             )
             self.obs.rpc_trace(request.req_id, trace_id)
             self.obs.rpc_stage(request.req_id, "post", now)
-        self.transport.send(encode_request(request))
+        try:
+            self.transport.send(encode_request(request))
+        except TransportClosed:
+            if not self._recovery_pending():
+                self._outstanding.pop(request.req_id, None)
+                raise
+            # Mid-reconnect: the handle is already registered, and
+            # _recover reposts every outstanding request once the new
+            # connection is up.
         return handle
 
     async def flush(self) -> None:
         """Push everything posted out to the kernel."""
-        await self.transport.drain()
+        try:
+            await self.transport.drain()
+        except TransportClosed:
+            if not self._recovery_pending():
+                raise
+            # Mid-reconnect: _recover drains after it reposts.
 
     async def poll_completions(self, handles: list[CallHandle]) -> list[RpcResponse]:
         """Wait for all ``handles``; returns the responses in order."""
@@ -378,19 +411,54 @@ class ProcRpcClient(RpcCallerInterface):
                         handle.completed_ns - handle.posted_ns
                     )
 
+    def _recovery_pending(self) -> bool:
+        """Is the receive loop alive to finish a reconnect?  While it is,
+        a post that finds the transport down may simply stay registered:
+        recovery either reposts it or fails its handle explicitly."""
+        return self._recv_task is not None and not self._recv_task.done()
+
+    def _consult_failover(self) -> None:
+        """Ask the failover hook where to dial; retarget the transport
+        when it names a different endpoint (membership promoted a
+        backup).  Reposted requests keep their original req_ids, so the
+        replica log's dedup makes the retry exactly-once visible."""
+        if self.failover_fn is None:
+            return
+        target = self.failover_fn(self)
+        if target is None or target == self.transport.endpoint:
+            return
+        self.transport.endpoint = target
+        self.failovers += 1
+        if self.obs is not None:
+            now = self.clock.now()
+            for req_id in sorted(self._outstanding):
+                self.obs.rpc_stage(req_id, "failover", now)
+
     async def _recover(self) -> bool:
         """The connection broke: reconnect (bounded) and repost what was
         in flight.  Returns False when recovery is exhausted — every
-        outstanding handle is failed with :exc:`TransportClosed`."""
-        try:
-            await self.transport.reconnect()
-        except TransportClosed as exc:
+        outstanding handle is failed with :exc:`TransportClosed`.
+
+        With a ``failover_fn`` installed the hook is consulted before
+        each reconnect cycle, and a second cycle is granted after an
+        exhausted one: the first cycle's backoff is usually what gives
+        the membership service time to declare the old primary dead.
+        """
+        cycles = 2 if self.failover_fn is not None else 1
+        exhausted: Optional[TransportClosed] = None
+        for _cycle in range(cycles):
+            self._consult_failover()
+            try:
+                await self.transport.reconnect()
+            except TransportClosed as exc:
+                exhausted = exc
+                continue
             for handle in self._outstanding.values():
-                if not handle.event.done():
-                    handle.event.set_exception(exc)
-            self._outstanding.clear()
-            return False
+                self.transport.send(encode_request(handle.request))
+            await self.transport.drain()
+            return True
         for handle in self._outstanding.values():
-            self.transport.send(encode_request(handle.request))
-        await self.transport.drain()
-        return True
+            if not handle.event.done():
+                handle.event.set_exception(exhausted)
+        self._outstanding.clear()
+        return False

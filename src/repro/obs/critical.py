@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 __all__ = [
     "STAGE_ORDER",
+    "REPLICA_STAGES",
     "STAGE_VOCABULARY",
     "StageBreakdown",
     "Cliff",
@@ -46,10 +47,23 @@ STAGE_ORDER = (
     "complete",
 )
 
+#: Replica-plane lifecycle stages (DESIGN.md section 15): LFD heartbeat
+#: probes/acks, membership view installs, backup promotion, and client
+#: failover.  They share the vocabulary (and thus flowlint's stage-name
+#: and stage-parity checks) but not the request lifecycle order — a
+#: failover timeline interleaves them with the ordinary stages.
+REPLICA_STAGES = (
+    "hb_probe",
+    "hb_ack",
+    "view_change",
+    "promote",
+    "failover",
+)
+
 #: The same names as a membership set: the vocabulary every backend's
 #: ``rpc_stage`` literals must come from (checked statically by
 #: ``repro.analysis.flowlint``'s ``stage-name`` pass).
-STAGE_VOCABULARY = frozenset(STAGE_ORDER)
+STAGE_VOCABULARY = frozenset(STAGE_ORDER) | frozenset(REPLICA_STAGES)
 
 
 @dataclass(frozen=True)

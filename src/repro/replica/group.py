@@ -1,0 +1,303 @@
+"""The replication group: primary-backup log shipping with epoch fencing.
+
+Backend-neutral by construction: :meth:`ReplicaGroup.handler_for` hands
+out a plain ``handler(request) -> result`` closure per replica, which is
+exactly the shape both the sim server (`repro.core.server`) and the proc
+server (`repro.net.procserver`) dispatch — so one group instance is the
+replicated service on either backend, and the model checker can drive it
+directly.
+
+The commit path (``_primary_op``):
+
+1. dedup — a reposted request whose original execution committed is
+   answered from the replica log's result cache without re-executing
+   (exactly-once visible semantics);
+2. append — the op is staged on the primary's log (`PendingAppend`);
+3. ship — the entry is pushed synchronously to every live, reachable
+   backup; each backup *fences* (`fence_admits`) against its view epoch
+   before accepting, and acceptance is durability (the ack);
+4. gate — with a live backup present but zero acks gathered (partition
+   or fencing), the append is **aborted** and no response is sent: the
+   client's watchdog escalates to failover.  Only with an ack (or with
+   no live backup left to wait for) does the primary apply, record the
+   result, and respond.
+
+``fencing_enabled`` / ``acks_required`` exist solely for the model
+checker's ``--buggy`` runs, which switch them off to demonstrate the
+dual-primary violation the guards prevent.
+
+Requests that reach a dead or non-primary replica get
+:data:`~repro.core.interface.NO_RESPONSE` — both backends translate
+that into silence, which is what drives the client's rpc-timeout
+watchdog escalation path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..core.interface import NO_RESPONSE
+from ..core.protocol import ProtocolError
+from .log import LogEntry, MISSING, ReplicaLog
+from .protocol import (
+    ReplicaEvent,
+    ReplicaRole,
+    fence_admits,
+    fresh_view,
+    replica_transition,
+)
+
+__all__ = ["HEARTBEAT_RPC", "OP_RPC", "GroupStats", "Replica", "ReplicaGroup"]
+
+#: rpc_type of LFD heartbeat probes (answered by any live replica).
+HEARTBEAT_RPC = "replica.hb"
+#: rpc_type of replicated state-machine operations (primary only).
+OP_RPC = "replica.op"
+
+
+@dataclass
+class GroupStats:
+    """Counters the figures, tests, and MC observers assert on."""
+
+    commits: int = 0
+    duplicates_served: int = 0
+    aborted_appends: int = 0
+    fenced_ships: int = 0
+    blocked_ships: int = 0
+    redirected: int = 0     #: ops that reached a non-primary replica
+    dropped_dead: int = 0   #: requests that reached a DEAD replica
+    promotions: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+@dataclass
+class Replica:
+    """One member: role, epoch, log, and its deterministic machine."""
+
+    name: str
+    role: ReplicaRole
+    epoch: int
+    log: ReplicaLog
+    machine: object
+    applied: int = 0  #: ops applied to ``machine`` (commits + ships)
+
+    @property
+    def alive(self) -> bool:
+        return self.role is not ReplicaRole.DEAD
+
+
+class ReplicaGroup:
+    """A primary-backup group over deterministic state machines."""
+
+    def __init__(self, names, machine_factory, *, obs=None, clock=None) -> None:
+        names = tuple(names)
+        if not names:
+            raise ValueError("a replica group needs at least one member")
+        self.machine_factory = machine_factory
+        self.obs = obs
+        self.clock = clock if clock is not None else (lambda: 0)
+        self.stats = GroupStats()
+        # The first name starts as primary at epoch 1, matching the
+        # MembershipService's initial view.
+        self.replicas = {}
+        for i, name in enumerate(names):
+            role = ReplicaRole.PRIMARY if i == 0 else ReplicaRole.BACKUP
+            self.replicas[name] = Replica(
+                name=name, role=role, epoch=1,
+                log=ReplicaLog(), machine=machine_factory(),
+            )
+        #: (src, dst) pairs whose traffic src→dst is dropped.  Asymmetric
+        #: by construction: blocking (b, a) means a's probes of b go
+        #: unanswered (the *response* path b→a is cut) while b still
+        #: sees a — see ``blocked``.
+        self._blocked: set = set()
+        #: The two guards --buggy model-check runs disable.
+        self.fencing_enabled = True
+        self.acks_required = True
+        #: Called with (replica_name, epoch, client_id, req_id) on every
+        #: primary commit — the MC observer's hook for dual-primary /
+        #: duplicate-execution detection.
+        self.commit_watchers: list = []
+
+    # -- membership actions -------------------------------------------
+
+    def fail_stop(self, name: str) -> None:
+        """Kill ``name`` permanently (no restart)."""
+        rep = self.replicas[name]
+        if rep.role is ReplicaRole.DEAD:
+            return
+        rep.role = replica_transition(rep.role, ReplicaEvent.FAIL_STOP)
+
+    def promote(self, name: str, epoch: int) -> None:
+        """Promote backup ``name`` to primary at ``epoch``.
+
+        Asserts deterministic replay before taking over: replaying the
+        durable log into a fresh machine must reproduce the live
+        machine's digest — the new primary serves exactly the state the
+        old one committed.
+        """
+        rep = self.replicas[name]
+        if rep.role is ReplicaRole.DEAD:
+            raise ProtocolError(f"cannot promote dead replica {name}")
+        if not fresh_view(rep.epoch, epoch):
+            raise ProtocolError(
+                f"promotion of {name} with stale epoch {epoch} (at {rep.epoch})"
+            )
+        replayed = rep.log.replay(self.machine_factory())
+        live = rep.machine.digest()
+        if replayed != live:
+            raise ProtocolError(
+                f"replay divergence on {name}: log digest {replayed:#x} != "
+                f"machine digest {live:#x}"
+            )
+        rep.role = replica_transition(rep.role, ReplicaEvent.PROMOTE)
+        rep.epoch = epoch
+        self.stats.promotions += 1
+        if self.obs is not None:
+            self.obs.rpc_stage(("replica", name, epoch), "promote",
+                               self.clock())
+
+    def advance_epoch(self, name: str, epoch: int) -> None:
+        """A view change that keeps ``name`` primary (a backup died)."""
+        rep = self.replicas[name]
+        if not fresh_view(rep.epoch, epoch):
+            raise ProtocolError(
+                f"epoch advance of {name} to stale {epoch} (at {rep.epoch})"
+            )
+        rep.epoch = epoch
+
+    def demote(self, name: str) -> None:
+        """Demote a still-reachable primary superseded by a fresh view."""
+        rep = self.replicas[name]
+        rep.role = replica_transition(rep.role, ReplicaEvent.DEMOTE)
+
+    # -- partitions ----------------------------------------------------
+
+    def partition(self, src: str, dst: str) -> None:
+        """Drop traffic ``src`` → ``dst`` (one direction only)."""
+        self._blocked.add((src, dst))
+
+    def heal(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
+
+    def blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked
+
+    # -- dispatch (the backend-neutral handler) ------------------------
+
+    def handler_for(self, name: str):
+        """The ``handler(request) -> result`` closure for replica
+        ``name`` — plug it into either backend's server."""
+        def handler(request):
+            return self.dispatch(name, request)
+        return handler
+
+    def dispatch(self, name: str, request):
+        rep = self.replicas[name]
+        if rep.role is ReplicaRole.DEAD:
+            self.stats.dropped_dead += 1
+            return NO_RESPONSE
+        if request.rpc_type == HEARTBEAT_RPC:
+            origin = (request.payload or {}).get("origin", "")
+            if self.blocked(name, origin):
+                # The response path name→origin is cut: the prober
+                # times out even though the probe arrived — this is
+                # what makes the partition *asymmetric*.
+                return NO_RESPONSE
+            return {"role": rep.role.value, "epoch": rep.epoch,
+                    "log_len": len(rep.log.entries)}
+        if rep.role is not ReplicaRole.PRIMARY:
+            self.stats.redirected += 1
+            return NO_RESPONSE
+        return self._primary_op(rep, request)
+
+    def _primary_op(self, rep: Replica, request):
+        cached = rep.log.result_for(request.client_id, request.req_id)
+        if cached is not MISSING:
+            self.stats.duplicates_served += 1
+            return cached
+        entry = LogEntry(
+            index=len(rep.log.entries),
+            epoch=rep.epoch,
+            client_id=request.client_id,
+            req_id=request.req_id,
+            op=dict(request.payload),
+        )
+        pending = rep.log.append(entry)
+        try:
+            acks = self._ship(rep, entry)
+            gated = (self.acks_required and acks == 0
+                     and self._has_live_peer(rep))
+        except Exception:
+            pending.abort()
+            self.stats.aborted_appends += 1
+            raise
+        if gated:
+            # A live backup exists but none acked (partition/fencing):
+            # the entry is not durable off-node, so withdraw it and
+            # answer with silence — the client escalates to failover.
+            pending.abort()
+            self.stats.aborted_appends += 1
+            return NO_RESPONSE
+        pending.ack()
+        result = rep.machine.apply(entry.op)
+        rep.applied += 1
+        rep.log.record_result(entry.client_id, entry.req_id, result)
+        self.stats.commits += 1
+        for watcher in self.commit_watchers:
+            watcher(rep.name, rep.epoch, entry.client_id, entry.req_id)
+        return result
+
+    def _has_live_peer(self, rep: Replica) -> bool:
+        return any(peer.alive for peer in self.replicas.values()
+                   if peer is not rep)
+
+    # -- log shipping --------------------------------------------------
+
+    def _ship(self, rep: Replica, entry: LogEntry) -> int:
+        """Push ``entry`` to every live, reachable peer; returns acks."""
+        acks = 0
+        for peer in self.replicas.values():
+            if peer is rep or not peer.alive:
+                continue
+            if self.blocked(rep.name, peer.name):
+                self.stats.blocked_ships += 1
+                continue
+            acks += self._receive_ship(peer, entry)
+        return acks
+
+    def _receive_ship(self, peer: Replica, entry: LogEntry) -> int:
+        """``peer`` receives a shipped entry; returns 1 iff acked.
+
+        The fence: a backup whose view epoch has moved past the
+        shipping primary's rejects the entry — the deposed primary can
+        never gather an ack.  Acceptance appends at the peer's own tail
+        index, acks immediately (receipt *is* backup durability), and
+        applies.
+        """
+        if self.fencing_enabled and not fence_admits(peer.epoch, entry.epoch):
+            self.stats.fenced_ships += 1
+            return 0
+        already = peer.log.result_for(entry.client_id, entry.req_id)
+        if already is not MISSING:
+            return 1  # idempotent re-ship
+        local = dataclasses.replace(entry, index=len(peer.log.entries))
+        pending = peer.log.append(local)
+        pending.ack()
+        result = peer.machine.apply(local.op)
+        peer.applied += 1
+        peer.log.record_result(local.client_id, local.req_id, result)
+        return 1
+
+    # -- introspection -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministic structural summary (MC state hashing, tests)."""
+        return {
+            name: (rep.role.value, rep.epoch, len(rep.log.entries),
+                   rep.log.durable, rep.applied, rep.machine.digest())
+            for name, rep in sorted(self.replicas.items())
+        }

@@ -1,0 +1,158 @@
+"""The replica log: ordered, epoch-tagged operations plus a result cache.
+
+The primary appends every client operation here *before* executing it;
+the append returns a :class:`PendingAppend` that must be either ``ack``ed
+(a backup made the entry durable — or there is no live backup to wait
+for) or ``abort``ed (shipping failed / the entry was fenced) — the
+``replica-log`` typestate protocol in flowlint's ``resource-typestate``
+pass statically checks that every append reaches one of the two on all
+paths, including exception paths.
+
+Durability is a *prefix*: ``durable`` counts committed entries from the
+front, and the invariant maintained throughout is that at most the tail
+entry is pending.  That holds because handlers are synchronous and
+atomic in both backends (the sim dispatches whole handler calls with no
+yields inside; the proc server calls handlers inline on the event loop),
+so appends from concurrent clients serialize.
+
+The result cache keyed ``(client_id, req_id)`` is what turns at-least-
+once reposting during failover into exactly-once *visible* semantics: a
+reposted request whose original execution committed is answered from the
+cache without re-executing (:meth:`ReplicaLog.result_for`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MISSING",
+    "ReplicaLogError",
+    "LogEntry",
+    "PendingAppend",
+    "ReplicaLog",
+]
+
+
+class _Missing:
+    """Sentinel distinguishing "no cached result" from a cached None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+MISSING = _Missing()
+
+
+class ReplicaLogError(Exception):
+    """A log invariant was violated (misuse, not a modeled fault)."""
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated operation.
+
+    ``index`` is the position in the appending replica's log; ``epoch``
+    is the primary's view epoch at append time (what the backup's fence
+    checks); ``(client_id, req_id)`` is the dedup identity; ``op`` is the
+    state-machine operation dict (verb + arguments), applied verbatim on
+    every replica so replay is deterministic.
+    """
+
+    index: int
+    epoch: int
+    client_id: int
+    req_id: int
+    op: dict
+
+
+class PendingAppend:
+    """Handle for an un-durable tail append; resolve exactly once."""
+
+    def __init__(self, log: "ReplicaLog", entry: LogEntry) -> None:
+        self._log = log
+        self.entry = entry
+        self.resolved = False
+
+    def ack(self) -> None:
+        """Commit the entry: it is durable on a backup (or no live
+        backup exists to gate on)."""
+        if self.resolved:
+            raise ReplicaLogError(
+                f"append of entry {self.entry.index} resolved twice"
+            )
+        self.resolved = True
+        self._log._commit(self.entry)
+
+    def abort(self) -> None:
+        """Withdraw the entry (ship failed or was fenced): pop it from
+        the tail so the log only ever contains committed + one pending."""
+        if self.resolved:
+            raise ReplicaLogError(
+                f"append of entry {self.entry.index} resolved twice"
+            )
+        self.resolved = True
+        self._log._retract(self.entry)
+
+
+@dataclass
+class ReplicaLog:
+    """Per-replica ordered log with a durable prefix and result cache."""
+
+    entries: list = field(default_factory=list)
+    durable: int = 0  #: committed prefix length
+    _results: dict = field(default_factory=dict)
+
+    # -- append/commit ------------------------------------------------
+
+    def append(self, entry: LogEntry) -> PendingAppend:
+        """Stage ``entry`` at the tail; returns the pending handle.
+
+        Enforces: no other append pending (durable == len(entries)),
+        contiguous indexes, and non-decreasing epochs.
+        """
+        if self.durable != len(self.entries):
+            raise ReplicaLogError(
+                f"append while entry {self.durable} still pending"
+            )
+        if entry.index != len(self.entries):
+            raise ReplicaLogError(
+                f"append at index {entry.index}, expected {len(self.entries)}"
+            )
+        if self.entries and entry.epoch < self.entries[-1].epoch:
+            raise ReplicaLogError(
+                f"epoch regressed: {entry.epoch} after {self.entries[-1].epoch}"
+            )
+        self.entries.append(entry)
+        return PendingAppend(self, entry)
+
+    def _commit(self, entry: LogEntry) -> None:
+        if not self.entries or self.entries[-1] is not entry:
+            raise ReplicaLogError("commit of an entry not at the tail")
+        self.durable = len(self.entries)
+
+    def _retract(self, entry: LogEntry) -> None:
+        if not self.entries or self.entries[-1] is not entry:
+            raise ReplicaLogError("abort of an entry not at the tail")
+        self.entries.pop()
+
+    # -- dedup result cache -------------------------------------------
+
+    def result_for(self, client_id: int, req_id: int):
+        """The cached result for a committed ``(client_id, req_id)``, or
+        :data:`MISSING` if that request never committed here."""
+        return self._results.get((client_id, req_id), MISSING)
+
+    def record_result(self, client_id: int, req_id: int, result) -> None:
+        self._results[(client_id, req_id)] = result
+
+    # -- replay -------------------------------------------------------
+
+    def replay(self, machine) -> int:
+        """Apply the durable prefix to a fresh ``machine``; returns its
+        digest.  Promotion asserts this equals the live machine's digest
+        — deterministic replay is what makes the backup's state the
+        primary's state."""
+        for entry in self.entries[: self.durable]:
+            machine.apply(entry.op)
+        return machine.digest()

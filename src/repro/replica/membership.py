@@ -1,0 +1,153 @@
+"""Membership: LFD report aggregation into epoch-numbered views.
+
+The global failure detector (GFD) side of the design: per-node local
+failure detectors (LFDs, which live in the backend runners because they
+probe over the real RPC stacks) call :meth:`MembershipService.report`
+with each probe outcome; ``suspect_after`` consecutive misses declares
+the target dead and installs a fresh view — epoch + 1, the dead node
+removed, and the first live backup promoted if the dead node was the
+primary.
+
+Views are immutable and epoch-fenced: :func:`~.protocol.fresh_view` is
+asserted on every install, so a stale or re-delivered view can never
+roll membership back.  Clients (and the backend runners acting on their
+behalf) subscribe with a callback; each subscription is a
+:class:`ViewSubscription` resource that must be ``unsubscribe``d — the
+``view-subscription`` typestate protocol in flowlint checks the
+subscribe → deliver* → unsubscribe lifecycle statically.
+
+This module is pure and synchronous — time is an argument (``now``),
+never read from a clock — so the same service instance drives the sim
+backend, the proc backend, and the model checker's explored schedules
+without nondeterminism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.protocol import ProtocolError
+from .protocol import fresh_view
+
+__all__ = ["View", "ViewSubscription", "MembershipService"]
+
+
+@dataclass(frozen=True)
+class View:
+    """One epoch-numbered membership view."""
+
+    epoch: int
+    primary: str
+    backups: tuple  #: live non-primary replicas, in promotion order
+    alive: frozenset  #: all live replicas (primary + backups)
+
+    def is_alive(self, name: str) -> bool:
+        return name in self.alive
+
+
+class ViewSubscription:
+    """A client's registration for view-change notices.
+
+    Acquired via :meth:`MembershipService.subscribe`; the holder must
+    call :meth:`unsubscribe` when done (checked by flowlint's
+    ``view-subscription`` typestate protocol).
+    """
+
+    def __init__(self, service: "MembershipService", callback) -> None:
+        self._service = service
+        self._callback = callback
+        self.active = True
+        self.delivered = 0
+
+    def deliver(self, view: View) -> None:
+        if not self.active:
+            return
+        self.delivered += 1
+        self._callback(view)
+
+    def unsubscribe(self) -> None:
+        if self.active:
+            self.active = False
+            self._service._subs.remove(self)
+
+
+class MembershipService:
+    """Aggregates LFD probe reports into epoch-numbered views."""
+
+    def __init__(self, replicas, suspect_after: int = 2, obs=None) -> None:
+        names = tuple(replicas)
+        if not names:
+            raise ValueError("membership requires at least one replica")
+        self.suspect_after = suspect_after
+        self.obs = obs
+        self._misses = {name: 0 for name in names}
+        self._subs: list = []
+        self.view_changes = 0
+        self.view = View(
+            epoch=1,
+            primary=names[0],
+            backups=names[1:],
+            alive=frozenset(names),
+        )
+
+    # -- LFD report intake --------------------------------------------
+
+    def report(self, target: str, alive: bool, now: int = 0) -> None:
+        """One LFD probe outcome for ``target`` at time ``now``.
+
+        A successful probe resets the miss counter; ``suspect_after``
+        consecutive misses declare the target dead.  Reports about
+        already-removed replicas are ignored (LFDs race the view).
+        """
+        if target not in self.view.alive:
+            return
+        if alive:
+            self._misses[target] = 0
+            return
+        self._misses[target] += 1
+        if self._misses[target] >= self.suspect_after:
+            self.declare_dead(target, now=now)
+
+    def declare_dead(self, target: str, now: int = 0) -> None:
+        """Remove ``target`` and install the successor view.
+
+        If the primary died, the first live backup (in declaration
+        order) is promoted — the deterministic election rule every
+        replica and the model checker agree on.
+        """
+        if target not in self.view.alive:
+            return
+        survivors = tuple(n for n in (self.view.primary,) + self.view.backups
+                          if n != target)
+        if not survivors:
+            raise ProtocolError("membership lost its last replica")
+        primary = self.view.primary if target != self.view.primary else survivors[0]
+        backups = tuple(n for n in survivors if n != primary)
+        view = View(
+            epoch=self.view.epoch + 1,
+            primary=primary,
+            backups=backups,
+            alive=frozenset(survivors),
+        )
+        self._install(view, now=now)
+
+    # -- view installation & subscriptions ----------------------------
+
+    def _install(self, view: View, now: int) -> None:
+        if not fresh_view(self.view.epoch, view.epoch):
+            raise ProtocolError(
+                f"stale view {view.epoch} against {self.view.epoch}"
+            )
+        self.view = view
+        self.view_changes += 1
+        if self.obs is not None:
+            self.obs.rpc_stage(("view", view.epoch), "view_change", now,
+                               extra={"primary": view.primary})
+        for sub in list(self._subs):
+            sub.deliver(view)
+
+    def subscribe(self, callback) -> ViewSubscription:
+        """Register ``callback(view)`` for every future view install."""
+        sub = ViewSubscription(self, callback)
+        self._subs.append(sub)
+        return sub

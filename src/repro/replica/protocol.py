@@ -1,0 +1,113 @@
+"""The declarative replica/membership protocol (DESIGN.md section 15).
+
+Mirrors :mod:`repro.core.protocol`: the legal role transitions live in one
+table, every role change goes through :func:`replica_transition` (which
+raises :class:`~repro.core.protocol.ProtocolError` on an illegal pair,
+always on), and the epoch-fencing rules are named predicates instead of
+inline comparisons — which is what lets the model checker state "dual
+primary is impossible" as a property of this table plus
+:func:`fence_admits`, and lets ``--buggy`` runs demonstrate what breaks
+when the predicate is bypassed.
+
+Roles (primary-backup replication, one group):
+
+- ``BACKUP``  — applies log entries shipped by the primary; serves no
+  client operations (clients that reach it get no response and fail
+  over).
+- ``PRIMARY`` — serves client operations: appends to its replica log,
+  ships the entry to live backups, commits only once a backup ack makes
+  the entry durable off-node.
+- ``DEAD``    — fail-stopped (no restart; the fault plane's
+  ``server_fail_stop``).
+
+Epochs: every membership view carries an epoch; a view (and the
+promotion it orders) is admissible only with a *strictly greater* epoch
+(:func:`fresh_view`), and a backup accepts a shipped log entry only from
+a primary whose epoch is *at least* its own view epoch
+(:func:`fence_admits`).  Together these fence off a deposed primary: it
+can never gather the ack its commit gates on, so a partition-induced
+second primary can never make conflicting state visible.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..core.protocol import ProtocolError
+
+__all__ = [
+    "ReplicaRole",
+    "ReplicaEvent",
+    "REPLICA_TRANSITIONS",
+    "replica_transition",
+    "is_legal_replica_transition",
+    "fresh_view",
+    "fence_admits",
+]
+
+
+class ReplicaRole(enum.Enum):
+    """Replica lifecycle roles."""
+
+    BACKUP = "backup"
+    PRIMARY = "primary"
+    DEAD = "dead"
+
+
+class ReplicaEvent(enum.Enum):
+    """Events that may change a replica's role."""
+
+    PROMOTE = "promote"      # a fresh view elects this replica primary
+    DEMOTE = "demote"        # a fresh view supersedes a reachable primary
+    FAIL_STOP = "fail_stop"  # the fault plane kills the node, no restart
+
+
+#: The complete transition table.  Anything not listed raises
+#: ProtocolError — notably (DEAD, PROMOTE): a fail-stopped replica can
+#: never be elected, and (PRIMARY, PROMOTE): promotion is only defined
+#: from BACKUP (an already-primary replica advancing its epoch is a view
+#: refresh, not a role transition).
+REPLICA_TRANSITIONS = {
+    (ReplicaRole.BACKUP, ReplicaEvent.PROMOTE): ReplicaRole.PRIMARY,
+    (ReplicaRole.BACKUP, ReplicaEvent.FAIL_STOP): ReplicaRole.DEAD,
+    (ReplicaRole.PRIMARY, ReplicaEvent.DEMOTE): ReplicaRole.BACKUP,
+    (ReplicaRole.PRIMARY, ReplicaEvent.FAIL_STOP): ReplicaRole.DEAD,
+}
+
+
+def replica_transition(role: ReplicaRole, event: ReplicaEvent) -> ReplicaRole:
+    """The role after ``event`` in ``role``; raises on an illegal pair."""
+    try:
+        return REPLICA_TRANSITIONS[(role, event)]
+    except KeyError:
+        raise ProtocolError(
+            f"illegal replica transition: {event.name} in {role.name}"
+        ) from None
+
+
+def is_legal_replica_transition(role: ReplicaRole, event: ReplicaEvent) -> bool:
+    """True iff the pair is in the table (static conformance checks)."""
+    return (role, event) in REPLICA_TRANSITIONS
+
+
+def fresh_view(current_epoch: int, epoch: int) -> bool:
+    """May a view numbered ``epoch`` supersede ``current_epoch``?
+
+    Strictly monotone, exactly like activation sequence numbers
+    (:func:`repro.core.protocol.fresh_activation`): re-delivered or stale
+    views are idempotently dropped, and two distinct views can never
+    share an epoch.
+    """
+    return epoch > current_epoch
+
+
+def fence_admits(view_epoch: int, ship_epoch: int) -> bool:
+    """May a backup at ``view_epoch`` accept a log entry shipped by a
+    primary claiming ``ship_epoch``?
+
+    A deposed primary still believes the old epoch; rejecting
+    ``ship_epoch < view_epoch`` means it can never replicate — and since
+    commits are gated on backup acks, never commit.  This predicate is
+    the whole of the epoch-fencing argument (DESIGN.md section 15).
+    """
+    return ship_epoch >= view_epoch

@@ -1,0 +1,115 @@
+"""Deterministic state machines replicated by :mod:`repro.replica`.
+
+Two shards mirror the paper's server-side state worth protecting: the
+MDS namespace (mknod/rmnod/stat — ScaleRPC's metadata use case) and a
+TXN KV shard (put/get/delete — Storm-style transactional writes).  Both
+are pure dict manipulation: ``apply(op)`` for the same op sequence
+yields byte-identical state on every replica, which the promotion-time
+replay assertion (:meth:`repro.replica.log.ReplicaLog.replay`) relies
+on.
+
+``digest()`` is a crc32 over the canonical JSON encoding — cheap enough
+to compute on every promotion, strong enough to catch any divergence a
+test or model-check run could plausibly introduce.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+__all__ = [
+    "StateMachineError",
+    "KvStateMachine",
+    "MdsStateMachine",
+    "ReplicatedStateMachine",
+]
+
+
+class StateMachineError(Exception):
+    """An operation the state machine does not define."""
+
+
+def _digest(state: dict) -> int:
+    payload = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+class KvStateMachine:
+    """TXN KV shard: put/get/delete over a flat key space."""
+
+    VERBS = frozenset({"put", "get", "delete"})
+
+    def __init__(self) -> None:
+        self.data: dict = {}
+
+    def apply(self, op: dict):
+        verb = op.get("verb")
+        if verb == "put":
+            self.data[op["key"]] = op["value"]
+            return {"ok": True}
+        if verb == "get":
+            return {"ok": True, "value": self.data.get(op["key"])}
+        if verb == "delete":
+            existed = op["key"] in self.data
+            self.data.pop(op["key"], None)
+            return {"ok": True, "existed": existed}
+        raise StateMachineError(f"kv shard does not define verb {verb!r}")
+
+    def digest(self) -> int:
+        return _digest(self.data)
+
+
+class MdsStateMachine:
+    """MDS namespace shard: mknod/rmnod/stat over a path table."""
+
+    VERBS = frozenset({"mknod", "rmnod", "stat"})
+
+    def __init__(self) -> None:
+        self.namespace: dict = {}
+
+    def apply(self, op: dict):
+        verb = op.get("verb")
+        if verb == "mknod":
+            path = op["path"]
+            if path in self.namespace:
+                return {"ok": False, "error": "exists"}
+            self.namespace[path] = {"mode": op.get("mode", 0o644), "size": 0}
+            return {"ok": True}
+        if verb == "rmnod":
+            if op["path"] not in self.namespace:
+                return {"ok": False, "error": "missing"}
+            del self.namespace[op["path"]]
+            return {"ok": True}
+        if verb == "stat":
+            node = self.namespace.get(op["path"])
+            if node is None:
+                return {"ok": False, "error": "missing"}
+            return {"ok": True, "node": dict(node)}
+        raise StateMachineError(f"mds shard does not define verb {verb!r}")
+
+    def digest(self) -> int:
+        return _digest(self.namespace)
+
+
+class ReplicatedStateMachine:
+    """The full replicated server state: MDS namespace + KV shard.
+
+    Routes each op to the shard that defines its verb; the digest
+    combines both shards so replay divergence in either is caught.
+    """
+
+    def __init__(self) -> None:
+        self.kv = KvStateMachine()
+        self.mds = MdsStateMachine()
+
+    def apply(self, op: dict):
+        verb = op.get("verb")
+        if verb in KvStateMachine.VERBS:
+            return self.kv.apply(op)
+        if verb in MdsStateMachine.VERBS:
+            return self.mds.apply(op)
+        raise StateMachineError(f"no shard defines verb {verb!r}")
+
+    def digest(self) -> int:
+        return _digest({"kv": self.kv.data, "mds": self.mds.namespace})

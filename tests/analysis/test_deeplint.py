@@ -463,3 +463,75 @@ def test_cli_update_baseline_roundtrip(tmp_path, capsys):
     )
     assert main([str(tree), "--baseline", str(baseline), "--no-detlint"]) == 1
     capsys.readouterr()
+
+
+# -- typestate: replica protocols (view-subscription, replica-log) ----------
+
+def test_view_subscription_leak_when_never_unsubscribed(tmp_path):
+    found = typestate_findings(tmp_path, """
+        def watch(service, handler):
+            sub = service.subscribe(handler)
+            handler.prime()
+    """, scope="replica")
+    assert [f.rule for f in found] == ["resource-leak"]
+    assert "[view-subscription]" in found[0].message
+
+
+def test_view_subscription_finally_release_is_safe(tmp_path):
+    found = typestate_findings(tmp_path, """
+        def watch(service, handler):
+            sub = service.subscribe(handler)
+            try:
+                handler.prime()
+            finally:
+                sub.unsubscribe()
+    """, scope="replica")
+    assert found == []
+
+
+def test_replica_log_leak_when_ship_raise_skips_resolution(tmp_path):
+    # The bug shape the protocol exists for: an exception out of the
+    # ship leaves the append neither acked nor aborted.
+    found = typestate_findings(tmp_path, """
+        def commit(log, entry, peers):
+            pending = log.append(entry)
+            peers.ship(entry)
+            pending.ack()
+    """, scope="replica")
+    assert [f.rule for f in found] == ["resource-leak"]
+    assert "[replica-log]" in found[0].message
+
+
+def test_replica_log_abort_on_raise_is_safe(tmp_path):
+    # The _primary_op shape: abort on the exception path, ack otherwise.
+    found = typestate_findings(tmp_path, """
+        def commit(log, entry, peers):
+            pending = log.append(entry)
+            try:
+                peers.ship(entry)
+            except Exception:
+                pending.abort()
+                raise
+            pending.ack()
+    """, scope="replica")
+    assert found == []
+
+
+def test_replica_log_abort_counts_as_release(tmp_path):
+    found = typestate_findings(tmp_path, """
+        def withdraw(log, entry):
+            pending = log.append(entry)
+            pending.abort()
+    """, scope="replica")
+    assert found == []
+
+
+def test_replica_log_protocol_ignores_plain_list_appends(tmp_path):
+    # `append` only acquires when the call result is bound: ordinary
+    # list bookkeeping must never participate in the protocol.
+    found = typestate_findings(tmp_path, """
+        def bookkeeping(items, entry):
+            items.append(entry)
+            items.append(entry)
+    """, scope="replica")
+    assert found == []

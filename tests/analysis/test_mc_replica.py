@@ -1,0 +1,83 @@
+"""Model-checking the replica subsystem (repro.analysis.mc.replica).
+
+Small schedule budgets keep these inside a test-suite budget; the CI
+``replica`` job sweeps the same scenarios much wider.  ``no_sanitize``
+for the same reason as test_mc: the explorer owns its sanitizer.
+"""
+
+import pytest
+
+from repro.analysis.mc import SCENARIOS, Explorer
+from repro.analysis.mc.__main__ import main as mc_main
+from repro.analysis.mc.replica import REPLICA_SCENARIOS
+
+pytestmark = pytest.mark.no_sanitize
+
+
+def test_replica_scenarios_are_registered():
+    for name in (
+        "replica-primary-dies",
+        "replica-backup-dies-promotion",
+        "replica-partition-dual-primary",
+    ):
+        assert name in REPLICA_SCENARIOS
+        assert name in SCENARIOS  # the CLI sees them through the matrix
+
+
+def test_primary_death_explores_clean():
+    report = Explorer(SCENARIOS["replica-primary-dies"]).explore(
+        max_schedules=6
+    )
+    assert report.schedules >= 1
+    assert report.ok, report.render()
+
+
+def test_backup_death_during_promotion_explores_clean():
+    report = Explorer(SCENARIOS["replica-backup-dies-promotion"]).explore(
+        max_schedules=6
+    )
+    assert report.ok, report.render()
+
+
+def test_partition_cannot_produce_dual_primary():
+    report = Explorer(SCENARIOS["replica-partition-dual-primary"]).explore(
+        max_schedules=6
+    )
+    assert report.ok, report.render()
+
+
+def test_buggy_partition_commits_at_a_stale_epoch(tmp_path):
+    """With fencing and the ack gate off, the partitioned primary keeps
+    committing after the view deposed it — the dual-primary violation
+    the guards exist to prevent."""
+    scenario = SCENARIOS["replica-partition-dual-primary"]
+    report = Explorer(scenario, buggy=True).explore(
+        max_schedules=3, artifact_dir=tmp_path
+    )
+    assert not report.ok
+    rules = {
+        violation.rule
+        for execution in report.violating
+        for violation in execution.violations
+    }
+    assert "dual-primary-commit" in rules
+    assert report.artifacts  # replayable evidence on disk
+
+
+def test_cli_runs_a_replica_scenario(capsys):
+    code = mc_main([
+        "--scenario", "replica-primary-dies", "--max-schedules", "3",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replica-primary-dies" in out
+
+
+def test_cli_buggy_replica_scenario_passes_on_detection(capsys):
+    code = mc_main([
+        "--scenario", "replica-partition-dual-primary",
+        "--max-schedules", "3", "--buggy",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flagged" in out

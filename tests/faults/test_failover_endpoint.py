@@ -1,0 +1,102 @@
+"""Watchdog escalation to a *different* endpoint.
+
+The rpc-timeout watchdog's recovery loop normally reconnects to the
+client's own server.  When ``failover_fn`` names another live server,
+recovery must escalate — hand the in-flight requests to that endpoint
+instead of burning the remaining reconnect attempts against the dead
+one.  This is the plain-transport half of the replica failover path:
+no replication group, just two ordinary ScaleRPC servers and a hook.
+"""
+
+from repro.transport import Topology
+
+US = 1_000
+
+
+def _echo(request):
+    return {"echo": request.payload["n"]}
+
+
+def _world(rpc_timeout_ns=120 * US):
+    topo = Topology.build(
+        server_names=("s0", "s1"), n_client_machines=1, seed=3
+    )
+    servers = {}
+    for node in topo.server_nodes:
+        servers[node.name] = topo.build_server(
+            "scalerpc", _echo, node=node,
+            group_size=8, time_slice_ns=50 * US,
+            rpc_timeout_ns=rpc_timeout_ns,
+        )
+    return topo, servers
+
+
+def _workload(topo, client, ops, completions, gap_ns=2 * US):
+    sim = topo.sim
+    for n in range(ops):
+        handle = yield from client.async_call("echo", payload={"n": n})
+        yield from client.flush()
+        yield from client.poll_completions([handle])
+        completions.append((sim.now, n))
+        yield sim.timeout(gap_ns)
+
+
+def _kill(sim, server, at_ns):
+    yield sim.timeout(at_ns)
+    server.fail_stop()
+
+
+def test_watchdog_escalates_to_the_failover_target():
+    topo, servers = _world()
+    s0, s1 = servers["s0"], servers["s1"]
+    s0.start()
+    s1.start()
+    client = s0.connect(topo.next_machine())
+    client.failover_fn = lambda c: s1 if s1.alive else None
+    completions = []
+    topo.sim.process(_workload(topo, client, 20, completions), name="drv")
+    topo.sim.process(_kill(topo.sim, s0, 30 * US), name="kill")
+    topo.sim.run(until=3_000 * US)
+    # Every op completed despite the home server dying mid-run...
+    assert [n for _, n in completions] == list(range(20))
+    # ...through the watchdog (a real timeout fired)...
+    assert client.timeouts >= 1
+    # ...which escalated to the *other* endpoint rather than retrying
+    # the dead one to exhaustion.
+    assert client.failovers >= 1
+    assert client.server is s1
+    assert s1.alive
+
+
+def test_without_failover_fn_recovery_exhausts_against_the_dead_server():
+    topo, servers = _world()
+    s0, s1 = servers["s0"], servers["s1"]
+    s0.start()
+    s1.start()
+    client = s0.connect(topo.next_machine())
+    assert client.failover_fn is None
+    completions = []
+    topo.sim.process(_workload(topo, client, 20, completions), name="drv")
+    topo.sim.process(_kill(topo.sim, s0, 30 * US), name="kill")
+    topo.sim.run(until=3_000 * US)
+    # No alternative endpoint: the run stalls at the fault point.
+    assert len(completions) < 20
+    assert client.failovers == 0
+    assert client.server is s0
+
+
+def test_failover_fn_returning_home_server_does_not_loop():
+    """A hook that names the client's own (dead) server is not an
+    escalation target — recovery treats it as 'no alternative'."""
+    topo, servers = _world()
+    s0, s1 = servers["s0"], servers["s1"]
+    s0.start()
+    s1.start()
+    client = s0.connect(topo.next_machine())
+    client.failover_fn = lambda c: c.server
+    completions = []
+    topo.sim.process(_workload(topo, client, 20, completions), name="drv")
+    topo.sim.process(_kill(topo.sim, s0, 30 * US), name="kill")
+    topo.sim.run(until=3_000 * US)
+    assert client.failovers == 0
+    assert len(completions) < 20

@@ -42,8 +42,14 @@ class TestFaultSpecValidation:
             spec.at_ns = 6
 
     def test_every_kind_constructible(self):
+        required = {
+            "server_fail_stop": {"node": "r0"},
+            "partition": {"src": "r0", "dst": "r1"},
+            "rack_failure": {"group_targets": ("r0", "r1")},
+        }
         for kind in FAULT_KINDS:
-            assert FaultSpec(kind, at_ns=1).kind == kind
+            extra = required.get(kind, {})
+            assert FaultSpec(kind, at_ns=1, **extra).kind == kind
 
 
 class TestFaultPlan:
@@ -82,3 +88,90 @@ class TestFaultPlan:
     def test_non_spec_entries_rejected(self):
         with pytest.raises(TypeError):
             FaultPlan(("not a spec",))
+
+
+class TestReplicaPlaneSpecs:
+    def test_fail_stop_constructor_shape(self):
+        plan = FaultPlan.fail_stop(at_ns=100, node="r0")
+        (spec,) = plan
+        assert spec.kind == "server_fail_stop"
+        assert spec.node == "r0"
+        assert spec.restart_at is None
+        assert spec.duration_ns == 0  # fail-stop: no restart, ever
+
+    def test_server_fail_stop_requires_a_node(self):
+        with pytest.raises(ValueError, match="requires node"):
+            FaultSpec("server_fail_stop", at_ns=1)
+
+    def test_server_fail_stop_never_restarts(self):
+        with pytest.raises(ValueError, match="never restarts"):
+            FaultSpec("server_fail_stop", at_ns=1, node="r0", duration_ns=5)
+
+    def test_partition_requires_both_ends(self):
+        with pytest.raises(ValueError, match="src and dst"):
+            FaultSpec("partition", at_ns=1, src="r0")
+        with pytest.raises(ValueError, match="must differ"):
+            FaultSpec("partition", at_ns=1, src="r0", dst="r0")
+
+    def test_partition_is_directional_data(self):
+        spec = FaultSpec("partition", at_ns=1, src="r0", dst="r1")
+        assert (spec.src, spec.dst) == ("r0", "r1")
+
+    def test_rack_failure_requires_targets(self):
+        with pytest.raises(ValueError, match="group_targets"):
+            FaultSpec("rack_failure", at_ns=1)
+        spec = FaultSpec("rack_failure", at_ns=1, group_targets=["r0", "r1"])
+        assert spec.group_targets == ("r0", "r1")  # normalized to a tuple
+
+
+class TestRestartAt:
+    def test_restart_at_only_for_client_crash(self):
+        with pytest.raises(ValueError, match="only applies"):
+            FaultSpec("straggler", at_ns=1, restart_at=5)
+
+    def test_restart_at_needs_a_scheduled_crash(self):
+        with pytest.raises(ValueError, match="scheduled"):
+            FaultSpec("client_crash", mtbf_ns=10, restart_at=5)
+
+    def test_restart_at_must_follow_the_crash(self):
+        with pytest.raises(ValueError, match="after at_ns"):
+            FaultSpec("client_crash", at_ns=10, restart_at=10)
+
+    def test_restart_at_excludes_duration(self):
+        with pytest.raises(ValueError, match="exclusive"):
+            FaultSpec("client_crash", at_ns=1, restart_at=5, duration_ns=3)
+
+    def test_bare_scheduled_crash_is_fail_stop(self):
+        spec = FaultSpec("client_crash", at_ns=1, target=0)
+        assert not spec.restarts_target
+        assert spec.fail_stopped() == (("client", 0),)
+
+    def test_restarting_forms_do_not_fail_stop(self):
+        timed = FaultSpec("client_crash", at_ns=1, duration_ns=5, target=0)
+        absolute = FaultSpec("client_crash", at_ns=1, restart_at=9, target=0)
+        assert timed.restarts_target and absolute.restarts_target
+        assert timed.fail_stopped() == ()
+        assert absolute.fail_stopped() == ()
+
+
+class TestFailStopPlanValidation:
+    def test_plan_rejects_restart_of_fail_stopped_client(self):
+        dead = FaultSpec("client_crash", at_ns=10, target=2)  # fail-stop
+        back = FaultSpec("client_crash", at_ns=50, duration_ns=5, target=2)
+        with pytest.raises(ValueError, match="never restart"):
+            FaultPlan.of([dead, back])
+
+    def test_plan_allows_restarts_of_other_clients(self):
+        dead = FaultSpec("client_crash", at_ns=10, target=2)
+        other = FaultSpec("client_crash", at_ns=50, duration_ns=5, target=3)
+        assert len(FaultPlan.of([dead, other])) == 2
+
+    def test_server_and_client_identities_do_not_collide(self):
+        # Killing server "r0" must not poison client restarts.
+        dead_server = FaultPlan.fail_stop(at_ns=10, node="r0").specs[0]
+        restart = FaultSpec("client_crash", at_ns=50, duration_ns=5, target=0)
+        assert len(FaultPlan.of([dead_server, restart])) == 2
+
+    def test_rack_failure_identities_are_all_fail_stopped(self):
+        spec = FaultSpec("rack_failure", at_ns=1, group_targets=("r0", "r1"))
+        assert spec.fail_stopped() == (("node", "r0"), ("node", "r1"))

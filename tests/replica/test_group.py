@@ -1,0 +1,180 @@
+"""ReplicaGroup unit semantics, driven directly through ``dispatch``
+(no backend): the commit path's dedup/append/ship/gate steps, epoch
+fencing, asymmetric partitions, and the promotion-time replay check."""
+
+import pytest
+
+from repro.core.interface import NO_RESPONSE
+from repro.core.protocol import ProtocolError
+from repro.replica.group import HEARTBEAT_RPC, OP_RPC, ReplicaGroup
+from repro.replica.protocol import ReplicaRole
+from repro.replica.statemachine import ReplicatedStateMachine
+
+
+class _Req:
+    """The request shape both backends hand to a server handler."""
+
+    def __init__(self, rpc_type, payload, client_id=1, req_id=1):
+        self.rpc_type = rpc_type
+        self.payload = payload
+        self.client_id = client_id
+        self.req_id = req_id
+
+
+def _group(names=("r0", "r1")):
+    return ReplicaGroup(names, ReplicatedStateMachine)
+
+
+def _op(client_id=1, req_id=1, key="k", value=1):
+    return _Req(OP_RPC, {"verb": "put", "key": key, "value": value},
+                client_id=client_id, req_id=req_id)
+
+
+class TestCommitPath:
+    def test_commit_ships_to_the_backup(self):
+        group = _group()
+        result = group.dispatch("r0", _op())
+        assert result == {"ok": True}
+        assert group.stats.commits == 1
+        r0, r1 = group.replicas["r0"], group.replicas["r1"]
+        assert (len(r0.log.entries), r0.log.durable) == (1, 1)
+        assert (len(r1.log.entries), r1.log.durable) == (1, 1)
+        assert r0.machine.digest() == r1.machine.digest()
+
+    def test_repost_is_served_from_the_result_cache(self):
+        group = _group()
+        first = group.dispatch("r0", _op(req_id=9, value=3))
+        applied = group.replicas["r0"].applied
+        again = group.dispatch("r0", _op(req_id=9, value=3))
+        assert again == first
+        assert group.stats.duplicates_served == 1
+        assert group.replicas["r0"].applied == applied  # not re-executed
+
+    def test_backup_and_dead_replicas_answer_with_silence(self):
+        group = _group()
+        assert group.dispatch("r1", _op()) is NO_RESPONSE
+        assert group.stats.redirected == 1
+        group.fail_stop("r1")
+        assert group.dispatch("r1", _op()) is NO_RESPONSE
+        assert group.stats.dropped_dead == 1
+
+    def test_sole_survivor_commits_without_acks(self):
+        group = _group()
+        group.fail_stop("r1")
+        assert group.dispatch("r0", _op()) == {"ok": True}
+        assert group.stats.commits == 1
+
+    def test_commit_watchers_fire_per_commit(self):
+        group = _group()
+        seen = []
+        group.commit_watchers.append(
+            lambda name, epoch, cid, rid: seen.append((name, epoch, cid, rid))
+        )
+        group.dispatch("r0", _op(client_id=5, req_id=2))
+        assert seen == [("r0", 1, 5, 2)]
+
+
+class TestAckGate:
+    def test_partitioned_primary_aborts_and_goes_silent(self):
+        group = _group()
+        group.partition("r0", "r1")
+        assert group.dispatch("r0", _op()) is NO_RESPONSE
+        assert group.stats.blocked_ships == 1
+        assert group.stats.aborted_appends == 1
+        assert group.stats.commits == 0
+        # The append was withdrawn: the log holds nothing.
+        assert group.replicas["r0"].log.entries == []
+
+    def test_heal_restores_the_commit_path(self):
+        group = _group()
+        group.partition("r0", "r1")
+        group.dispatch("r0", _op(req_id=1))
+        group.heal("r0", "r1")
+        assert group.dispatch("r0", _op(req_id=2)) == {"ok": True}
+
+    def test_fenced_primary_cannot_commit(self):
+        """A deposed primary whose backup moved to a fresher view gathers
+        zero acks — the fence is what makes dual-primary impossible."""
+        group = _group()
+        group.replicas["r1"].epoch = 2  # backup saw view 2
+        assert group.dispatch("r0", _op()) is NO_RESPONSE
+        assert group.stats.fenced_ships == 1
+        assert group.stats.aborted_appends == 1
+
+    def test_buggy_knobs_let_the_stale_primary_commit(self):
+        """The --buggy model-check variant: with fencing and the ack
+        gate off, the deposed primary commits at its stale epoch."""
+        group = _group()
+        group.fencing_enabled = False
+        group.acks_required = False
+        group.replicas["r1"].epoch = 2
+        assert group.dispatch("r0", _op()) == {"ok": True}
+        assert group.stats.commits == 1  # the violation the guards prevent
+
+
+class TestHeartbeats:
+    def test_heartbeat_reports_role_and_epoch(self):
+        group = _group()
+        reply = group.dispatch(
+            "r0", _Req(HEARTBEAT_RPC, {"origin": "gfd"})
+        )
+        assert reply == {"role": "primary", "epoch": 1, "log_len": 0}
+
+    def test_asymmetric_partition_cuts_only_the_response_path(self):
+        """Blocking r0 -> gfd silences r0's heartbeat *answers* while r0
+        itself still ships to r1 — A sees B, B doesn't see A."""
+        group = _group()
+        group.partition("r0", "gfd")
+        hb = _Req(HEARTBEAT_RPC, {"origin": "gfd"})
+        assert group.dispatch("r0", hb) is NO_RESPONSE
+        # The op path r0 -> r1 is untouched: commits still flow.
+        assert group.dispatch("r0", _op()) == {"ok": True}
+
+
+class TestPromotion:
+    def _promoted(self):
+        group = _group()
+        group.dispatch("r0", _op(req_id=1, value=1))
+        group.dispatch("r0", _op(req_id=2, value=2))
+        group.fail_stop("r0")
+        group.promote("r1", 2)
+        return group
+
+    def test_promotion_takes_over_at_the_new_epoch(self):
+        group = self._promoted()
+        r1 = group.replicas["r1"]
+        assert r1.role is ReplicaRole.PRIMARY
+        assert r1.epoch == 2
+        assert group.stats.promotions == 1
+        # The new primary serves committed state: dedup still answers.
+        assert group.dispatch("r1", _op(req_id=2, value=2)) == {"ok": True}
+        assert group.stats.duplicates_served == 1
+
+    def test_promotion_with_stale_epoch_rejected(self):
+        group = _group()
+        with pytest.raises(ProtocolError, match="stale epoch"):
+            group.promote("r1", 1)
+
+    def test_promotion_of_dead_replica_rejected(self):
+        group = _group()
+        group.fail_stop("r1")
+        with pytest.raises(ProtocolError, match="dead replica"):
+            group.promote("r1", 2)
+
+    def test_replay_divergence_fails_the_promotion(self):
+        group = _group()
+        group.dispatch("r0", _op())
+        # Corrupt the backup's live state behind the log's back: the
+        # promotion-time replay assertion must catch it.
+        group.replicas["r1"].machine.kv.data["k"] = "tampered"
+        with pytest.raises(ProtocolError, match="replay divergence"):
+            group.promote("r1", 2)
+
+    def test_advance_epoch_keeps_the_primary(self):
+        group = _group(("r0", "r1", "r2"))
+        group.fail_stop("r2")
+        group.advance_epoch("r0", 2)
+        assert group.replicas["r0"].role is ReplicaRole.PRIMARY
+        assert group.replicas["r0"].epoch == 2
+        with pytest.raises(ProtocolError, match="stale"):
+            group.advance_epoch("r0", 2)

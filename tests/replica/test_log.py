@@ -1,0 +1,114 @@
+"""ReplicaLog invariants: the durable prefix, the one-pending-tail rule,
+the append → ack/abort typestate, and the dedup result cache."""
+
+import pytest
+
+from repro.replica.log import (
+    MISSING,
+    LogEntry,
+    ReplicaLog,
+    ReplicaLogError,
+)
+from repro.replica.statemachine import ReplicatedStateMachine
+
+
+def _entry(index, epoch=1, client_id=1, req_id=None, op=None):
+    return LogEntry(
+        index=index,
+        epoch=epoch,
+        client_id=client_id,
+        req_id=req_id if req_id is not None else index,
+        op=op or {"verb": "put", "key": f"k{index}", "value": index},
+    )
+
+
+class TestAppendCommit:
+    def test_ack_extends_the_durable_prefix(self):
+        log = ReplicaLog()
+        pending = log.append(_entry(0))
+        assert log.durable == 0  # staged, not durable
+        pending.ack()
+        assert log.durable == 1
+        assert [e.index for e in log.entries] == [0]
+
+    def test_abort_retracts_the_tail(self):
+        log = ReplicaLog()
+        log.append(_entry(0)).ack()
+        pending = log.append(_entry(1))
+        pending.abort()
+        assert log.durable == 1
+        assert [e.index for e in log.entries] == [0]
+        # The slot is reusable: the next append takes index 1 again.
+        log.append(_entry(1)).ack()
+        assert log.durable == 2
+
+    def test_append_while_pending_rejected(self):
+        log = ReplicaLog()
+        log.append(_entry(0))  # left unresolved
+        with pytest.raises(ReplicaLogError, match="still pending"):
+            log.append(_entry(1))
+
+    def test_non_contiguous_index_rejected(self):
+        log = ReplicaLog()
+        log.append(_entry(0)).ack()
+        with pytest.raises(ReplicaLogError, match="expected 1"):
+            log.append(_entry(5))
+
+    def test_epoch_regression_rejected(self):
+        log = ReplicaLog()
+        log.append(_entry(0, epoch=3)).ack()
+        with pytest.raises(ReplicaLogError, match="regressed"):
+            log.append(_entry(1, epoch=2))
+
+    def test_epoch_may_stay_or_advance(self):
+        log = ReplicaLog()
+        log.append(_entry(0, epoch=1)).ack()
+        log.append(_entry(1, epoch=1)).ack()
+        log.append(_entry(2, epoch=4)).ack()
+        assert log.durable == 3
+
+    def test_double_resolve_rejected(self):
+        log = ReplicaLog()
+        pending = log.append(_entry(0))
+        pending.ack()
+        with pytest.raises(ReplicaLogError, match="resolved twice"):
+            pending.ack()
+        with pytest.raises(ReplicaLogError, match="resolved twice"):
+            pending.abort()
+
+
+class TestResultCache:
+    def test_missing_until_recorded(self):
+        log = ReplicaLog()
+        assert log.result_for(1, 1) is MISSING
+        log.record_result(1, 1, {"ok": True})
+        assert log.result_for(1, 1) == {"ok": True}
+
+    def test_cached_none_is_not_missing(self):
+        """A handler that legitimately returned None must still dedup."""
+        log = ReplicaLog()
+        log.record_result(2, 7, None)
+        assert log.result_for(2, 7) is None
+        assert log.result_for(2, 7) is not MISSING
+
+
+class TestReplay:
+    def test_replay_reproduces_the_live_digest(self):
+        log = ReplicaLog()
+        live = ReplicatedStateMachine()
+        for i in range(6):
+            op = ({"verb": "mknod", "path": f"/f{i}"} if i % 2
+                  else {"verb": "put", "key": f"k{i}", "value": i})
+            log.append(_entry(i, op=op)).ack()
+            live.apply(op)
+        assert log.replay(ReplicatedStateMachine()) == live.digest()
+
+    def test_replay_covers_only_the_durable_prefix(self):
+        log = ReplicaLog()
+        live = ReplicatedStateMachine()
+        op = {"verb": "put", "key": "k", "value": 1}
+        log.append(_entry(0, op=op)).ack()
+        live.apply(op)
+        log.append(_entry(1, op={"verb": "put", "key": "k", "value": 2}))
+        # The pending tail is not durable: replay ignores it.
+        assert log.replay(ReplicatedStateMachine()) == live.digest()

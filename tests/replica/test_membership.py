@@ -1,0 +1,114 @@
+"""MembershipService: LFD report aggregation, epoch-numbered views, the
+deterministic promotion rule, and the subscription lifecycle."""
+
+import pytest
+
+from repro.core.protocol import ProtocolError
+from repro.replica.membership import MembershipService, View
+
+
+def _service(names=("r0", "r1", "r2"), suspect_after=2):
+    return MembershipService(names, suspect_after)
+
+
+class TestReportAggregation:
+    def test_initial_view(self):
+        svc = _service()
+        assert svc.view.epoch == 1
+        assert svc.view.primary == "r0"
+        assert svc.view.backups == ("r1", "r2")
+        assert svc.view.is_alive("r2")
+
+    def test_single_miss_only_suspects(self):
+        svc = _service()
+        svc.report("r0", alive=False)
+        assert svc.view.epoch == 1
+        assert svc.view.is_alive("r0")
+
+    def test_consecutive_misses_declare_dead(self):
+        svc = _service()
+        svc.report("r0", alive=False)
+        svc.report("r0", alive=False)
+        assert svc.view.epoch == 2
+        assert not svc.view.is_alive("r0")
+
+    def test_hit_resets_the_miss_counter(self):
+        svc = _service()
+        svc.report("r0", alive=False)
+        svc.report("r0", alive=True)
+        svc.report("r0", alive=False)
+        assert svc.view.epoch == 1  # never reached suspect_after in a row
+
+    def test_reports_about_removed_replicas_ignored(self):
+        svc = _service()
+        svc.declare_dead("r2")
+        epoch = svc.view.epoch
+        svc.report("r2", alive=False)
+        svc.report("r2", alive=False)
+        assert svc.view.epoch == epoch  # a racing LFD cannot double-remove
+
+
+class TestViewInstall:
+    def test_primary_death_promotes_first_live_backup(self):
+        svc = _service()
+        svc.declare_dead("r0")
+        assert svc.view == View(
+            epoch=2, primary="r1", backups=("r2",),
+            alive=frozenset({"r1", "r2"}),
+        )
+        assert svc.view_changes == 1
+
+    def test_backup_death_keeps_the_primary(self):
+        svc = _service()
+        svc.declare_dead("r1")
+        assert svc.view.primary == "r0"
+        assert svc.view.backups == ("r2",)
+        assert svc.view.epoch == 2
+
+    def test_cascading_deaths_walk_the_promotion_order(self):
+        svc = _service()
+        svc.declare_dead("r0")
+        svc.declare_dead("r1")
+        assert svc.view.primary == "r2"
+        assert svc.view.epoch == 3
+
+    def test_last_replica_death_is_a_protocol_error(self):
+        svc = _service(names=("r0",))
+        with pytest.raises(ProtocolError, match="last replica"):
+            svc.declare_dead("r0")
+
+    def test_stale_view_install_rejected(self):
+        svc = _service()
+        svc.declare_dead("r2")  # now at epoch 2
+        stale = View(epoch=2, primary="r0", backups=("r1",),
+                     alive=frozenset({"r0", "r1"}))
+        with pytest.raises(ProtocolError, match="stale view"):
+            svc._install(stale, now=0)
+
+
+class TestSubscriptions:
+    def test_subscribers_see_every_install(self):
+        svc = _service()
+        seen = []
+        sub = svc.subscribe(seen.append)
+        svc.declare_dead("r0")
+        svc.declare_dead("r1")
+        assert [v.epoch for v in seen] == [2, 3]
+        assert sub.delivered == 2
+        sub.unsubscribe()
+
+    def test_unsubscribe_stops_delivery(self):
+        svc = _service()
+        seen = []
+        sub = svc.subscribe(seen.append)
+        svc.declare_dead("r0")
+        sub.unsubscribe()
+        svc.declare_dead("r1")
+        assert [v.epoch for v in seen] == [2]
+
+    def test_unsubscribe_is_idempotent(self):
+        svc = _service()
+        sub = svc.subscribe(lambda view: None)
+        sub.unsubscribe()
+        sub.unsubscribe()  # second release is a no-op, not an error
+        assert not sub.active

@@ -1,0 +1,63 @@
+"""The replicated real-process deployment: primary fail-stop over real
+sockets, with client reconnect + failover retargeting the promoted
+backup's endpoint.  Timings are compressed to keep the test around a
+second of wall clock; the full-size run is ``fig_failover --backend
+proc``."""
+
+import pytest
+
+from repro.replica import ReplicaProcConfig, run_replica_proc
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_replica_proc(ReplicaProcConfig(
+        n_clients=2,
+        ops_per_client=12,
+        op_gap_s=0.005,
+        hb_period_s=0.04,
+        hb_timeout_s=0.02,
+        reconnect_backoff_s=0.02,
+        fail_primary_at_s=0.06,
+        timeout_s=20.0,
+    ))
+
+
+def test_every_op_completes_exactly_once(result):
+    assert result["completed"] == result["total_ops"]
+    assert result["duplicate_executions"] == 0
+
+
+def test_the_backup_was_promoted(result):
+    assert result["view"]["primary"] == "r1"
+    assert result["view"]["epoch"] == 2
+    assert result["group"]["promotions"] == 1
+
+
+def test_clients_rode_the_real_reconnect_path(result):
+    per_client = result["per_client"].values()
+    assert all(c["failovers"] >= 1 for c in per_client)
+    assert all(c["reconnects"] >= 1 for c in per_client)
+
+
+def test_recovery_is_bounded(result):
+    # Generous bound: CI wall clocks are noisy, but recovery must beat
+    # the run's own timeout by a wide margin.
+    assert 0 < result["unavailable_ns"] < 5_000_000_000
+
+
+def test_surviving_replicas_agree(result):
+    assert result["replica_digests_agree"]
+
+
+def test_healthy_baseline_never_changes_view():
+    result = run_replica_proc(ReplicaProcConfig(
+        n_clients=1,
+        ops_per_client=6,
+        op_gap_s=0.002,
+        fail_primary_at_s=None,
+        timeout_s=20.0,
+    ))
+    assert result["completed"] == result["total_ops"]
+    assert result["view"]["changes"] == 0
+    assert result["unavailable_ns"] == 0
